@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates every table and figure of the paper's evaluation.
+All figure benchmarks share one session-scoped
+:class:`~repro.experiments.runner.ExperimentRunner`, which memoizes the
+individual (workload, policy) simulations: the first benchmark that needs a
+sweep pays for it, later ones reuse the cached reports and only measure the
+figure assembly.  Each benchmark prints the rendered figure, so the captured
+output (``bench_output.txt``) doubles as the reproduction record referenced
+from EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- workload scale factor (default 1.0).
+* ``REPRO_BENCH_CUS``   -- number of CUs (default 8, the scaled system of
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments import ExperimentRunner
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_CUS = int(os.environ.get("REPRO_BENCH_CUS", "8"))
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    """The shared, memoizing experiment runner used by every figure bench."""
+    return ExperimentRunner(scale=BENCH_SCALE, config=scaled_config(BENCH_CUS))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Simulation sweeps are long and deterministic; repeating them for
+    statistical timing would multiply harness time for no insight.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Table 1 (system configuration) and Table 2 (workload inventory)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_system_configuration, table2_workloads
+from repro.experiments.render import render_kv_table, render_series_table
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+
+
+def test_table1_system_configuration(benchmark):
+    tables = run_once(benchmark, table1_system_configuration)
+    print()
+    print(render_kv_table("Table 1 (simulated, scaled configuration)", tables["simulated"]))
+    print(render_kv_table("Table 1 (paper reference configuration)", tables["paper"]))
+    assert tables["paper"]["# of CUs"] == "64"
+
+
+def test_table2_workloads(benchmark):
+    rows = run_once(benchmark, table2_workloads, scale=BENCH_SCALE)
+    data = {
+        str(row["name"]): {
+            "paper_kernels": float(row["paper_total_kernels"]),
+            "sim_kernels": float(row["sim_kernels"]),
+            "sim_requests": float(row["sim_line_requests"]),
+            "sim_KB": row["sim_footprint_bytes"] / 1024.0,
+        }
+        for row in rows
+    }
+    print()
+    print(render_series_table("Table 2: studied MI workloads", data, value_format="{:.0f}"))
+    assert len(rows) == 17

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one MI workload under the three static GPU cache policies.
+
+This reproduces, for a single workload, the experiment behind Figure 6 of
+"Optimizing GPU Cache Policies for MI Workloads" (IISWC 2019): the forward
+fully-connected layer (FwFc) is run under Uncached, CacheR and CacheRW, and
+the execution time, DRAM traffic, cache stalls and DRAM row-buffer locality
+are compared.
+
+Run with::
+
+    python examples/quickstart.py [workload] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    STATIC_POLICIES,
+    PolicyComparison,
+    default_config,
+    get_workload,
+    simulate,
+)
+from repro.experiments.render import render_kv_table, render_series_table
+
+
+def main() -> int:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "FwFc"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    config = default_config()
+    print(render_kv_table("Simulated system (scaled from the paper's Table 1)", config.describe()))
+
+    workload = get_workload(workload_name, scale=scale)
+    trace = workload.build_trace()
+    print(f"Workload {workload.name}: {trace.num_kernels} kernel(s), "
+          f"{trace.line_requests} line requests, "
+          f"{trace.footprint_bytes() / 1024:.0f} KiB footprint\n")
+
+    comparison = PolicyComparison(workload=workload.name)
+    for policy in STATIC_POLICIES:
+        print(f"simulating {workload.name} under {policy.name} ...")
+        comparison.add(simulate(get_workload(workload_name, scale=scale), policy, config=config))
+
+    print()
+    print(render_series_table(
+        "Execution time (normalized to Uncached)",
+        {workload.name: comparison.normalized_exec_time()},
+    ))
+    print(render_series_table(
+        "DRAM accesses (normalized to Uncached)",
+        {workload.name: comparison.normalized_dram_accesses()},
+    ))
+    print(render_series_table(
+        "Cache stalls per memory request",
+        {workload.name: comparison.stalls_per_request()},
+    ))
+    print(render_series_table(
+        "DRAM row-buffer hit rate",
+        {workload.name: comparison.row_hit_rates()},
+    ))
+    best = comparison.static_best()
+    print(f"Best static policy for {workload.name}: {best}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

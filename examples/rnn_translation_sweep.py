@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""RNN speech-translation inference sweep.
+
+The paper's RNN workloads are configured after the English-Vietnamese
+translation networks of Britz et al. (sequence-to-sequence LSTM/GRU models)
+and launch hundreds of small kernels per inference.  This example sweeps the
+recurrent cell type and sequence length and compares the Uncached baseline
+with the full optimization stack (CacheRW-PCby), reporting how much of the
+per-timestep weight and state traffic the GPU L2 absorbs.
+
+Run with::
+
+    python examples/rnn_translation_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import CACHE_RW_PCBY, UNCACHED, default_config, simulate
+from repro.experiments.render import render_series_table
+from repro.workloads.deepbench import RnnForward, RnnForwardBackward
+
+
+def main() -> int:
+    config = default_config()
+    exec_rows: dict[str, dict[str, float]] = {}
+    dram_rows: dict[str, dict[str, float]] = {}
+
+    sweeps = [
+        ("LSTM seq=8", RnnForward, dict(cell="lstm", sequence_length=8)),
+        ("LSTM seq=16", RnnForward, dict(cell="lstm", sequence_length=16)),
+        ("GRU seq=8", RnnForward, dict(cell="gru", sequence_length=8)),
+        ("GRU seq=16", RnnForward, dict(cell="gru", sequence_length=16)),
+        ("LSTM train seq=8", RnnForwardBackward, dict(cell="lstm", sequence_length=8)),
+        ("GRU train seq=8", RnnForwardBackward, dict(cell="gru", sequence_length=8)),
+    ]
+
+    for label, factory, kwargs in sweeps:
+        exec_rows[label] = {}
+        dram_rows[label] = {}
+        baseline_cycles = baseline_dram = None
+        for policy in (UNCACHED, CACHE_RW_PCBY):
+            workload = factory(**kwargs)
+            print(f"simulating {label} under {policy.name} ...")
+            report = simulate(workload, policy, config=config)
+            if baseline_cycles is None:
+                baseline_cycles, baseline_dram = report.cycles, report.dram_accesses
+            exec_rows[label][policy.name] = report.cycles / baseline_cycles
+            dram_rows[label][policy.name] = (
+                report.dram_accesses / baseline_dram if baseline_dram else 0.0
+            )
+
+    print()
+    print(render_series_table("Execution time (normalized to Uncached)", exec_rows))
+    print(render_series_table("DRAM accesses (normalized to Uncached)", dram_rows))
+    print("The recurrent weight matrices are re-read every timestep; keeping them in the")
+    print("shared L2 across kernel launches is where the caching benefit comes from.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

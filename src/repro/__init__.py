@@ -1,0 +1,105 @@
+"""Reproduction of *Optimizing GPU Cache Policies for MI Workloads* (IISWC 2019).
+
+The package provides:
+
+* a trace-driven, discrete-event simulator of a coherent CPU-GPU memory
+  hierarchy (per-CU L1s, shared banked L2, directory, HBM-style DRAM);
+* the paper's three static GPU caching policies (Uncached, CacheR, CacheRW)
+  and its three cumulative optimizations (allocation bypass, DBI-based cache
+  rinsing, PC-based L2 bypassing);
+* synthetic trace generators for the seventeen MI workloads of Table 2;
+* experiment drivers that regenerate every table and figure of the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import simulate, get_workload, STATIC_POLICIES
+
+    workload = get_workload("FwFc")
+    for policy in STATIC_POLICIES:
+        report = simulate(workload, policy)
+        print(policy.name, report.cycles, report.dram_accesses)
+"""
+
+from repro.config import (
+    CacheConfig,
+    DramConfig,
+    GpuConfig,
+    InterconnectConfig,
+    SystemConfig,
+    default_config,
+    paper_config,
+    scaled_config,
+)
+from repro.core import (
+    CACHE_R,
+    CACHE_RW,
+    CACHE_RW_AB,
+    CACHE_RW_CR,
+    CACHE_RW_PCBY,
+    OPTIMIZED_POLICIES,
+    STATIC_POLICIES,
+    UNCACHED,
+    DirtyBlockIndex,
+    PolicyAdvisor,
+    PolicyEngine,
+    PolicySpec,
+    ReusePredictor,
+    WorkloadCategory,
+    classify,
+    policy_by_name,
+)
+from repro.session import SimulationSession, simulate
+from repro.stats import PolicyComparison, RunReport
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    Workload,
+    WorkloadTrace,
+    get_workload,
+    standard_suite,
+    workload_metadata_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "CacheConfig",
+    "DramConfig",
+    "GpuConfig",
+    "InterconnectConfig",
+    "SystemConfig",
+    "default_config",
+    "paper_config",
+    "scaled_config",
+    # policies and optimizations
+    "PolicySpec",
+    "UNCACHED",
+    "CACHE_R",
+    "CACHE_RW",
+    "CACHE_RW_AB",
+    "CACHE_RW_CR",
+    "CACHE_RW_PCBY",
+    "STATIC_POLICIES",
+    "OPTIMIZED_POLICIES",
+    "policy_by_name",
+    "PolicyEngine",
+    "DirtyBlockIndex",
+    "ReusePredictor",
+    "PolicyAdvisor",
+    "WorkloadCategory",
+    "classify",
+    # simulation
+    "SimulationSession",
+    "simulate",
+    "RunReport",
+    "PolicyComparison",
+    # workloads
+    "Workload",
+    "WorkloadTrace",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "standard_suite",
+    "workload_metadata_table",
+]

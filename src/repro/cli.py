@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
+``python -m repro.cli``.  Subcommands:
+
+* ``list``     -- show the available workloads and policies.
+* ``run``      -- simulate one workload under one policy and print the report.
+* ``sweep``    -- simulate a workload under several policies and print a
+  normalized comparison.
+* ``figure``   -- regenerate one of the paper's figures (4-13) as a text table.
+* ``table``    -- print Table 1 (system configuration) or Table 2 (workloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.config import default_config, scaled_config
+from repro.core.policies import ALL_POLICIES, STATIC_POLICIES, policy_by_name
+from repro.experiments import (
+    ExperimentRunner,
+    figure4_gvops,
+    figure5_gmrs,
+    figure6_execution_time,
+    figure7_dram_accesses,
+    figure8_cache_stalls,
+    figure9_row_hit_rate,
+    figure10_execution_time,
+    figure11_dram_accesses,
+    figure12_cache_stalls,
+    figure13_row_hit_rate,
+    render_series_table,
+    table1_system_configuration,
+    table2_workloads,
+)
+from repro.experiments.render import render_kv_table
+from repro.session import simulate
+from repro.stats.comparison import PolicyComparison
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "4": ("Figure 4: compute bandwidth (GVOPS), CacheR", figure4_gvops, "{:.1f}"),
+    "5": ("Figure 5: memory request bandwidth (GMR/s), CacheR", figure5_gmrs, "{:.3f}"),
+    "6": ("Figure 6: execution time normalized to Uncached", figure6_execution_time, "{:.3f}"),
+    "7": ("Figure 7: DRAM accesses normalized to Uncached", figure7_dram_accesses, "{:.3f}"),
+    "8": ("Figure 8: cache stalls per memory request", figure8_cache_stalls, "{:.3f}"),
+    "9": ("Figure 9: DRAM row-buffer hit ratio", figure9_row_hit_rate, "{:.3f}"),
+    "10": ("Figure 10: execution time normalized to best static", figure10_execution_time, "{:.3f}"),
+    "11": ("Figure 11: DRAM accesses normalized to Uncached", figure11_dram_accesses, "{:.3f}"),
+    "12": ("Figure 12: cache stalls per memory request", figure12_cache_stalls, "{:.3f}"),
+    "13": ("Figure 13: DRAM row-buffer hit ratio", figure13_row_hit_rate, "{:.3f}"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu-cache",
+        description="GPU cache-policy reproduction for MI workloads (IISWC 2019)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    parser.add_argument("--cus", type=int, default=None, help="number of compute units")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list workloads and policies")
+
+    run = subparsers.add_parser("run", help="simulate one workload under one policy")
+    run.add_argument("--workload", required=True, choices=list(WORKLOAD_NAMES))
+    run.add_argument("--policy", required=True)
+    run.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    sweep = subparsers.add_parser("sweep", help="compare several policies on one workload")
+    sweep.add_argument("--workload", required=True, choices=list(WORKLOAD_NAMES))
+    sweep.add_argument(
+        "--policies",
+        nargs="+",
+        default=[p.name for p in STATIC_POLICIES],
+        help="policy names (default: the three static policies)",
+    )
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("number", choices=sorted(_FIGURES, key=int))
+    figure.add_argument(
+        "--workloads", nargs="+", default=None, help="subset of workloads (default: all 17)"
+    )
+
+    table = subparsers.add_parser("table", help="print Table 1 or Table 2")
+    table.add_argument("number", choices=["1", "2"])
+
+    return parser
+
+
+def _system_config(args: argparse.Namespace):
+    if args.cus is not None:
+        return scaled_config(args.cus)
+    return default_config()
+
+
+def _cmd_list() -> int:
+    print("Workloads:")
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name)
+        print(f"  {name:10s} {workload.metadata.suite:25s} {workload.metadata.description}")
+    print("\nPolicies:")
+    for policy in ALL_POLICIES:
+        print(
+            f"  {policy.name:14s} loads L1/L2: {policy.cache_loads_l1}/{policy.cache_loads_l2}  "
+            f"stores L2: {policy.cache_stores_l2}  AB/CR/PCby: "
+            f"{policy.allocation_bypass}/{policy.cache_rinsing}/{policy.pc_bypass}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload, scale=args.scale)
+    policy = policy_by_name(args.policy)
+    report = simulate(workload, policy, config=_system_config(args))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(render_kv_table(f"{args.workload} under {policy.name}", report.as_dict()))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload_name = args.workload
+    comparison = PolicyComparison(workload=workload_name)
+    config = _system_config(args)
+    for name in args.policies:
+        policy = policy_by_name(name)
+        workload = get_workload(workload_name, scale=args.scale)
+        comparison.add(simulate(workload, policy, config=config))
+    data = {
+        workload_name: comparison.normalized_exec_time(
+            baseline=args.policies[0] if "Uncached" not in comparison.reports else "Uncached"
+        )
+    }
+    print(render_series_table(f"Execution time for {workload_name} (normalized)", data))
+    dram = {workload_name: comparison.metric(lambda r: float(r.dram_accesses))}
+    print(render_series_table(f"DRAM accesses for {workload_name}", dram, value_format="{:.0f}"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    title, builder, fmt = _FIGURES[args.number]
+    runner = ExperimentRunner(
+        scale=args.scale, config=_system_config(args), workload_names=args.workloads
+    )
+    data = builder(runner)
+    print(render_series_table(title, data, value_format=fmt))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == "1":
+        tables = table1_system_configuration(config=_system_config(args))
+        print(render_kv_table("Table 1 (simulated, scaled configuration)", tables["simulated"]))
+        print(render_kv_table("Table 1 (paper reference configuration)", tables["paper"]))
+        return 0
+    rows = table2_workloads(scale=args.scale)
+    data = {
+        str(row["name"]): {
+            "paper kernels": float(row["paper_total_kernels"]),
+            "sim kernels": float(row["sim_kernels"]),
+            "sim requests": float(row["sim_line_requests"]),
+            "sim footprint KB": row["sim_footprint_bytes"] / 1024.0,
+        }
+        for row in rows
+    }
+    print(render_series_table("Table 2: studied MI workloads (paper vs simulated)", data,
+                              value_format="{:.0f}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: GPU caching policies and optimizations.
+
+* :mod:`repro.core.policies` -- the three static policies of section III
+  (Uncached, CacheR, CacheRW) and the optimized variants of section VII
+  (CacheRW-AB, CacheRW-CR, CacheRW-PCby), expressed as
+  :class:`~repro.core.policies.PolicySpec` objects.
+* :mod:`repro.core.dirty_block_index` -- the Dirty-Block-Index used for
+  row-locality-aware cache rinsing (section VII.B).
+* :mod:`repro.core.reuse_predictor` -- the PC-indexed reuse predictor used
+  for adaptive L2 bypassing (section VII.C).
+* :mod:`repro.core.policy_engine` -- per-request decisions combining a
+  policy with the optimizations.
+* :mod:`repro.core.classification` -- the memory-insensitive /
+  reuse-sensitive / throughput-sensitive workload classifier (section VI.A).
+* :mod:`repro.core.advisor` -- static-best/static-worst selection and a
+  simple adaptive policy advisor.
+"""
+
+from repro.core.policies import (
+    CACHE_R,
+    CACHE_RW,
+    CACHE_RW_AB,
+    CACHE_RW_CR,
+    CACHE_RW_PCBY,
+    OPTIMIZED_POLICIES,
+    STATIC_POLICIES,
+    UNCACHED,
+    PolicySpec,
+    policy_by_name,
+)
+from repro.core.allocation_bypass import AllocationBypassSpec
+from repro.core.dirty_block_index import DirtyBlockIndex
+from repro.core.reuse_predictor import ReusePredictor
+from repro.core.policy_engine import PolicyEngine
+from repro.core.classification import WorkloadCategory, classify
+from repro.core.advisor import PolicyAdvisor, static_best_policy, static_worst_policy
+
+__all__ = [
+    "PolicySpec",
+    "UNCACHED",
+    "CACHE_R",
+    "CACHE_RW",
+    "CACHE_RW_AB",
+    "CACHE_RW_CR",
+    "CACHE_RW_PCBY",
+    "STATIC_POLICIES",
+    "OPTIMIZED_POLICIES",
+    "policy_by_name",
+    "AllocationBypassSpec",
+    "DirtyBlockIndex",
+    "ReusePredictor",
+    "PolicyEngine",
+    "WorkloadCategory",
+    "classify",
+    "PolicyAdvisor",
+    "static_best_policy",
+    "static_worst_policy",
+]

@@ -1,0 +1,106 @@
+"""Static-best / static-worst selection and an adaptive policy advisor.
+
+Figures 10-13 of the paper compare the optimization stack against the *best*
+and *worst* static policy for each workload (as measured in Figure 6).  The
+helpers here perform that selection from a set of run reports.
+
+:class:`PolicyAdvisor` additionally implements the forward-looking idea from
+the paper's conclusion -- "smart and adaptive cache policies" -- as a simple
+software advisor: given a workload's measured characteristics (arithmetic
+intensity, reuse potential, write coalescing potential) it recommends a
+static policy.  The advisor is used by one of the example applications and
+validated against the simulator's own static-best selection in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.classification import WorkloadCategory
+from repro.core.policies import CACHE_R, CACHE_RW, UNCACHED, PolicySpec
+
+__all__ = ["static_best_policy", "static_worst_policy", "PolicyAdvisor", "WorkloadProfile"]
+
+
+def static_best_policy(exec_time_by_policy: Mapping[str, float]) -> str:
+    """Name of the static policy with the lowest execution time."""
+    if not exec_time_by_policy:
+        raise ValueError("no results to select from")
+    return min(exec_time_by_policy.items(), key=lambda kv: kv[1])[0]
+
+
+def static_worst_policy(exec_time_by_policy: Mapping[str, float]) -> str:
+    """Name of the static policy with the highest execution time."""
+    if not exec_time_by_policy:
+        raise ValueError("no results to select from")
+    return max(exec_time_by_policy.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Characteristics an advisor can observe before choosing a policy.
+
+    Attributes:
+        arithmetic_intensity: vector operations per byte of memory traffic.
+        load_reuse_fraction: fraction of loads expected to hit if cached
+            (distinct-line reuse, i.e. reuse *not* already captured by the
+            wavefront coalescer or the LDS).
+        store_coalescing_fraction: fraction of stores that would merge with
+            another store to the same line inside one synchronization epoch.
+        footprint_bytes: total bytes touched between synchronization points.
+    """
+
+    arithmetic_intensity: float
+    load_reuse_fraction: float
+    store_coalescing_fraction: float
+    footprint_bytes: int
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.load_reuse_fraction <= 1.0):
+            raise ValueError("load_reuse_fraction must be in [0, 1]")
+        if not (0.0 <= self.store_coalescing_fraction <= 1.0):
+            raise ValueError("store_coalescing_fraction must be in [0, 1]")
+        if self.footprint_bytes < 0:
+            raise ValueError("footprint_bytes must be non-negative")
+
+
+class PolicyAdvisor:
+    """Recommends a static policy from a :class:`WorkloadProfile`.
+
+    The decision mirrors the paper's findings: compute-bound kernels are
+    insensitive (any policy is fine, prefer the simplest), kernels with
+    negligible distinct-line reuse should bypass to avoid caching overheads,
+    kernels with load reuse should enable read caching, and kernels that
+    additionally coalesce stores should enable write caching.
+    """
+
+    def __init__(
+        self,
+        compute_bound_intensity: float = 8.0,
+        reuse_threshold: float = 0.15,
+        store_coalesce_threshold: float = 0.20,
+    ) -> None:
+        self.compute_bound_intensity = compute_bound_intensity
+        self.reuse_threshold = reuse_threshold
+        self.store_coalesce_threshold = store_coalesce_threshold
+
+    def recommend(self, profile: WorkloadProfile) -> PolicySpec:
+        """Pick a static policy for ``profile``."""
+        if profile.arithmetic_intensity >= self.compute_bound_intensity:
+            # compute bound: caching neither helps nor hurts; read caching is
+            # the conventional default and never loses for these kernels
+            return CACHE_R
+        if profile.load_reuse_fraction < self.reuse_threshold:
+            return UNCACHED
+        if profile.store_coalescing_fraction >= self.store_coalesce_threshold:
+            return CACHE_RW
+        return CACHE_R
+
+    def expected_category(self, profile: WorkloadProfile) -> WorkloadCategory:
+        """Category the advisor expects the workload to fall into."""
+        if profile.arithmetic_intensity >= self.compute_bound_intensity:
+            return WorkloadCategory.MEMORY_INSENSITIVE
+        if profile.load_reuse_fraction < self.reuse_threshold:
+            return WorkloadCategory.THROUGHPUT_SENSITIVE
+        return WorkloadCategory.REUSE_SENSITIVE

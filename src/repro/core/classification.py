@@ -1,0 +1,99 @@
+"""Workload classification by caching sensitivity (paper section VI.A).
+
+The paper groups the 17 MI workloads into three categories according to how
+the static caching policies affect execution time:
+
+* **Memory insensitive** -- no policy changes execution time by more than
+  5% (the workload is compute bound or has negligible memory demand).
+* **Reuse sensitive** -- enabling caching improves performance (beyond the
+  5% band), because the workload has exploitable reuse.
+* **Throughput sensitive** -- enabling caching *hurts* performance, because
+  the workload has no reuse and the overheads of caching (stalls, row
+  locality disruption) reduce achievable memory throughput.
+
+:func:`classify` applies that rule to measured execution times;
+:data:`PAPER_CATEGORIES` records the category the paper reports for each
+workload, which the experiment harness compares against.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+__all__ = ["WorkloadCategory", "classify", "PAPER_CATEGORIES"]
+
+#: relative execution-time change below which a workload counts as insensitive
+INSENSITIVITY_BAND = 0.05
+
+
+class WorkloadCategory(enum.Enum):
+    """The paper's three caching-sensitivity classes."""
+
+    MEMORY_INSENSITIVE = "Insensitive"
+    REUSE_SENSITIVE = "Reuse Sensitive"
+    THROUGHPUT_SENSITIVE = "Throughput Sensitive"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify(
+    exec_time_by_policy: Mapping[str, float],
+    baseline: str = "Uncached",
+    band: float = INSENSITIVITY_BAND,
+) -> WorkloadCategory:
+    """Classify one workload from its execution times under the static policies.
+
+    Args:
+        exec_time_by_policy: execution time (any consistent unit) keyed by
+            policy name; must contain the baseline and at least one caching
+            policy.
+        baseline: name of the bypass-everything policy.
+        band: relative change regarded as noise (paper: 5%).
+
+    Returns:
+        The workload's :class:`WorkloadCategory`.
+    """
+    if baseline not in exec_time_by_policy:
+        raise KeyError(f"baseline policy {baseline!r} missing from results")
+    base = exec_time_by_policy[baseline]
+    if base <= 0:
+        raise ValueError("baseline execution time must be positive")
+    others = {k: v for k, v in exec_time_by_policy.items() if k != baseline}
+    if not others:
+        raise ValueError("need at least one caching policy to classify against")
+
+    relative = {name: (time - base) / base for name, time in others.items()}
+    best = min(relative.values())
+    worst = max(relative.values())
+
+    if abs(best) <= band and abs(worst) <= band:
+        return WorkloadCategory.MEMORY_INSENSITIVE
+    # caching helps if the best caching configuration is meaningfully faster
+    if best < -band:
+        return WorkloadCategory.REUSE_SENSITIVE
+    return WorkloadCategory.THROUGHPUT_SENSITIVE
+
+
+#: categories reported in the paper (Figure 6 grouping), used as the
+#: reference for the shape checks in tests/experiments and EXPERIMENTS.md
+PAPER_CATEGORIES: dict[str, WorkloadCategory] = {
+    "DGEMM": WorkloadCategory.MEMORY_INSENSITIVE,
+    "SGEMM": WorkloadCategory.MEMORY_INSENSITIVE,
+    "CM": WorkloadCategory.MEMORY_INSENSITIVE,
+    "FwBN": WorkloadCategory.REUSE_SENSITIVE,
+    "FwPool": WorkloadCategory.REUSE_SENSITIVE,
+    "FwSoft": WorkloadCategory.REUSE_SENSITIVE,
+    "BwSoft": WorkloadCategory.REUSE_SENSITIVE,
+    "BwPool": WorkloadCategory.REUSE_SENSITIVE,
+    "FwGRU": WorkloadCategory.REUSE_SENSITIVE,
+    "FwLSTM": WorkloadCategory.REUSE_SENSITIVE,
+    "FwBwGRU": WorkloadCategory.REUSE_SENSITIVE,
+    "FwBwLSTM": WorkloadCategory.REUSE_SENSITIVE,
+    "BwBN": WorkloadCategory.REUSE_SENSITIVE,
+    "FwFc": WorkloadCategory.REUSE_SENSITIVE,
+    "FwAct": WorkloadCategory.THROUGHPUT_SENSITIVE,
+    "FwLRN": WorkloadCategory.THROUGHPUT_SENSITIVE,
+    "BwAct": WorkloadCategory.THROUGHPUT_SENSITIVE,
+}

@@ -1,0 +1,100 @@
+"""Per-request caching decisions.
+
+The :class:`PolicyEngine` is the glue between a static
+:class:`~repro.core.policies.PolicySpec` and the memory hierarchy: it stamps
+each request with its bypass flags before the request enters the L1, and it
+owns the optimization components (the PC-based reuse predictor and the
+dirty-block index) that the L2 consults.
+
+Separating the decision logic from the cache timing model keeps the cache
+reusable (the same class models L1 and L2) and makes the policy matrix easy
+to test in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.dirty_block_index import DirtyBlockIndex
+from repro.core.policies import PolicySpec
+from repro.core.reuse_predictor import PredictorConfig, ReusePredictor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.request import MemoryRequest
+
+__all__ = ["PolicyEngine"]
+
+
+class PolicyEngine:
+    """Applies a :class:`PolicySpec` to individual memory requests.
+
+    Args:
+        policy: the caching policy to enforce.
+        row_of: line-address -> DRAM-row mapping, required when the policy
+            enables cache rinsing.
+        predictor_config: optional override of the reuse-predictor geometry
+            (used by the ablation benchmarks).
+        dbi_max_rows: optional capacity bound for the dirty-block index.
+    """
+
+    def __init__(
+        self,
+        policy: PolicySpec,
+        row_of: Optional[Callable[[int], int]] = None,
+        predictor_config: Optional[PredictorConfig] = None,
+        dbi_max_rows: Optional[int] = None,
+    ) -> None:
+        self.policy = policy
+        self.reuse_predictor: Optional[ReusePredictor] = None
+        self.dirty_block_index: Optional[DirtyBlockIndex] = None
+        if policy.pc_bypass:
+            self.reuse_predictor = ReusePredictor(predictor_config)
+        if policy.cache_rinsing:
+            if row_of is None:
+                raise ValueError(
+                    f"policy {policy.name} enables cache rinsing, which requires a "
+                    "DRAM row mapping (row_of)"
+                )
+            self.dirty_block_index = DirtyBlockIndex(row_of, max_rows=dbi_max_rows)
+
+    # ------------------------------------------------------------------
+    def annotate(self, request: "MemoryRequest") -> "MemoryRequest":
+        """Stamp ``request`` with the bypass flags implied by the policy.
+
+        Stores always bypass the L1 (true for every policy in the paper);
+        whether they bypass the L2 depends on ``cache_stores_l2``.  Loads
+        bypass a level exactly when that level does not cache loads.  The
+        PC-based prediction is *not* applied here -- it is consulted by the
+        L2 itself so that sampler sets can override it.
+        """
+        if request.is_load:
+            request.bypass_l1 = not self.policy.cache_loads_l1
+            request.bypass_l2 = not self.policy.cache_loads_l2
+        else:
+            request.bypass_l1 = True
+            request.bypass_l2 = not self.policy.cache_stores_l2
+        return request
+
+    # ------------------------------------------------------------------
+    @property
+    def allocation_bypass(self) -> bool:
+        """Whether caches should convert blocked allocations into bypasses."""
+        return self.policy.allocation_bypass
+
+    def describe(self) -> dict[str, object]:
+        """Summary of the active policy and optimization components."""
+        return {
+            "policy": self.policy.name,
+            "cache_loads_l1": self.policy.cache_loads_l1,
+            "cache_loads_l2": self.policy.cache_loads_l2,
+            "cache_stores_l2": self.policy.cache_stores_l2,
+            "allocation_bypass": self.policy.allocation_bypass,
+            "cache_rinsing": self.policy.cache_rinsing,
+            "pc_bypass": self.policy.pc_bypass,
+            "predictor_bypass_fraction": (
+                self.reuse_predictor.bypass_fraction() if self.reuse_predictor else None
+            ),
+            "dbi_tracked_rows": (
+                len(self.dirty_block_index) if self.dirty_block_index else None
+            ),
+        }

@@ -1,0 +1,128 @@
+"""Priority-queue event scheduler for the discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The sequence number breaks ties deterministically: two events scheduled for
+the same cycle fire in the order they were scheduled, which keeps the
+simulator fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so they sort correctly inside the heap.
+    The callback and its argument do not participate in ordering.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic discrete-event queue.
+
+    The queue tracks the current simulation time (in cycles).  Components
+    schedule work with :meth:`schedule` (relative delay) or
+    :meth:`schedule_at` (absolute time); the simulator driver repeatedly pops
+    the earliest event and invokes its callback.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0
+        self._executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def schedule(self, delay: int | float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        Delays are rounded up to whole cycles; negative delays are an error.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + int(round(delay)), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time}, current time is {self._now}"
+            )
+        event = Event(time=int(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Drain the queue.
+
+        Args:
+            until: stop once simulation time passes this cycle (events at
+                later times remain queued).
+            max_events: safety bound on the number of events to execute.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            nxt = self._peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self._now = until
+                break
+            if self.step():
+                executed += 1
+        return self._now
+
+    def _peek_time(self) -> int | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,56 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each module corresponds to a block of the paper's evaluation:
+
+* :mod:`repro.experiments.tables` -- Table 1 (system configuration) and
+  Table 2 (workload inventory).
+* :mod:`repro.experiments.characterization` -- Figure 4 (GVOPS) and
+  Figure 5 (GMR/s), measured under the CacheR policy.
+* :mod:`repro.experiments.static_policies` -- Figures 6-9: execution time,
+  DRAM accesses, cache stalls and DRAM row-hit rate for the three static
+  policies, normalized to Uncached.
+* :mod:`repro.experiments.optimizations` -- Figures 10-13: the same metrics
+  for the best/worst static policies and the cumulative optimization stack
+  (CacheRW-AB, CacheRW-CR, CacheRW-PCby).
+* :mod:`repro.experiments.runner` -- the shared sweep executor with result
+  caching, used by all of the above and by the benchmark harness.
+"""
+
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.characterization import figure4_gvops, figure5_gmrs
+from repro.experiments.static_policies import (
+    figure6_execution_time,
+    figure7_dram_accesses,
+    figure8_cache_stalls,
+    figure9_row_hit_rate,
+    static_policy_sweep,
+)
+from repro.experiments.optimizations import (
+    figure10_execution_time,
+    figure11_dram_accesses,
+    figure12_cache_stalls,
+    figure13_row_hit_rate,
+    optimization_sweep,
+)
+from repro.experiments.tables import table1_system_configuration, table2_workloads
+from repro.experiments.render import render_series_table
+
+__all__ = [
+    "ExperimentRunner",
+    "SweepResult",
+    "figure4_gvops",
+    "figure5_gmrs",
+    "figure6_execution_time",
+    "figure7_dram_accesses",
+    "figure8_cache_stalls",
+    "figure9_row_hit_rate",
+    "figure10_execution_time",
+    "figure11_dram_accesses",
+    "figure12_cache_stalls",
+    "figure13_row_hit_rate",
+    "static_policy_sweep",
+    "optimization_sweep",
+    "table1_system_configuration",
+    "table2_workloads",
+    "render_series_table",
+]

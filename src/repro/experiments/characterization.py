@@ -1,0 +1,41 @@
+"""Figures 4 and 5: policy-independent workload characterization.
+
+The paper characterizes each workload's compute bandwidth (giga vector
+operations per second, Figure 4) and memory request bandwidth (giga GPU
+memory requests per second, Figure 5) while running under the CacheR
+policy.  Workloads with low compute bandwidth and high memory request
+bandwidth are the ones most likely to be sensitive to the caching policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies import CACHE_R
+from repro.experiments.runner import ExperimentRunner, SweepResult
+
+__all__ = ["characterization_sweep", "figure4_gvops", "figure5_gmrs"]
+
+
+def characterization_sweep(runner: Optional[ExperimentRunner] = None) -> SweepResult:
+    """Run every workload under CacheR (the policy Figures 4 and 5 use)."""
+    runner = runner or ExperimentRunner()
+    return runner.sweep(policies=(CACHE_R,))
+
+
+def figure4_gvops(runner: Optional[ExperimentRunner] = None) -> dict[str, dict[str, float]]:
+    """Figure 4: compute bandwidth (GVOPS) per workload under CacheR."""
+    sweep = characterization_sweep(runner)
+    return {
+        workload: {"GVOPS": sweep.get(workload, CACHE_R.name).gvops}
+        for workload in sweep.workloads()
+    }
+
+
+def figure5_gmrs(runner: Optional[ExperimentRunner] = None) -> dict[str, dict[str, float]]:
+    """Figure 5: memory request bandwidth (GMR/s) per workload under CacheR."""
+    sweep = characterization_sweep(runner)
+    return {
+        workload: {"GMR/s": sweep.get(workload, CACHE_R.name).gmrs}
+        for workload in sweep.workloads()
+    }

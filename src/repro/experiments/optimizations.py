@@ -1,0 +1,118 @@
+"""Figures 10-13: the cumulative caching-optimization stack.
+
+The paper evaluates three optimizations applied cumulatively on top of the
+CacheRW policy -- allocation bypass (CacheRW-AB), DBI-based cache rinsing
+(CacheRW-CR) and PC-based L2 bypassing (CacheRW-PCby) -- and compares them
+against the best and worst *static* policy for each workload (as measured
+in Figure 6):
+
+* Figure 10 -- execution time, normalized to the best static policy.
+* Figure 11 -- DRAM accesses, normalized to Uncached.
+* Figure 12 -- cache stalls per GPU memory request.
+* Figure 13 -- DRAM row-buffer hit ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies import OPTIMIZED_POLICIES, STATIC_POLICIES, UNCACHED
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.static_policies import static_policy_sweep
+from repro.stats.report import RunReport
+
+__all__ = [
+    "optimization_sweep",
+    "figure10_execution_time",
+    "figure11_dram_accesses",
+    "figure12_cache_stalls",
+    "figure13_row_hit_rate",
+    "STATIC_BEST",
+    "STATIC_WORST",
+]
+
+#: series labels used by Figures 10-13
+STATIC_BEST = "StaticBest"
+STATIC_WORST = "StaticWorst"
+
+
+def optimization_sweep(runner: Optional[ExperimentRunner] = None) -> SweepResult:
+    """Static policies plus the optimization stack for every workload."""
+    runner = runner or ExperimentRunner()
+    static = runner.sweep(policies=STATIC_POLICIES)
+    optimized = runner.sweep(policies=OPTIMIZED_POLICIES)
+    return static.merged(optimized)
+
+
+def _series_reports(sweep: SweepResult, workload: str) -> dict[str, RunReport]:
+    """Best/worst static plus the three optimized configurations."""
+    comparison = sweep.comparison(workload)
+    static_names = [p.name for p in STATIC_POLICIES]
+    best = comparison.static_best(static_names)
+    worst = comparison.static_worst(static_names)
+    series: dict[str, RunReport] = {
+        STATIC_BEST: sweep.get(workload, best),
+        STATIC_WORST: sweep.get(workload, worst),
+    }
+    for policy in OPTIMIZED_POLICIES:
+        series[policy.name] = sweep.get(workload, policy.name)
+    return series
+
+
+def figure10_execution_time(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 10: execution time normalized to the best static policy."""
+    sweep = sweep or optimization_sweep(runner)
+    result: dict[str, dict[str, float]] = {}
+    for workload in sweep.workloads():
+        series = _series_reports(sweep, workload)
+        baseline = series[STATIC_BEST].cycles
+        result[workload] = {
+            name: report.cycles / baseline for name, report in series.items()
+        }
+    return result
+
+
+def figure11_dram_accesses(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 11: DRAM accesses normalized to Uncached."""
+    sweep = sweep or optimization_sweep(runner)
+    result: dict[str, dict[str, float]] = {}
+    for workload in sweep.workloads():
+        series = _series_reports(sweep, workload)
+        baseline = sweep.get(workload, UNCACHED.name).dram_accesses
+        result[workload] = {
+            name: (report.dram_accesses / baseline if baseline else 0.0)
+            for name, report in series.items()
+        }
+    return result
+
+
+def figure12_cache_stalls(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 12: cache stall cycles per GPU memory request."""
+    sweep = sweep or optimization_sweep(runner)
+    result: dict[str, dict[str, float]] = {}
+    for workload in sweep.workloads():
+        series = _series_reports(sweep, workload)
+        result[workload] = {
+            name: report.cache_stalls_per_request for name, report in series.items()
+        }
+    return result
+
+
+def figure13_row_hit_rate(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 13: DRAM row-buffer hit ratio."""
+    sweep = sweep or optimization_sweep(runner)
+    result: dict[str, dict[str, float]] = {}
+    for workload in sweep.workloads():
+        series = _series_reports(sweep, workload)
+        result[workload] = {
+            name: report.dram_row_hit_rate for name, report in series.items()
+        }
+    return result

@@ -1,0 +1,111 @@
+"""Shared sweep executor for the experiment drivers and benchmarks.
+
+Running the full evaluation requires simulating every workload under up to
+six policies.  :class:`ExperimentRunner` memoizes individual runs so that
+the figures which share data (e.g. Figures 6-9 all use the static-policy
+sweep) only pay for each simulation once within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.config import SystemConfig, default_config
+from repro.core.policies import STATIC_POLICIES, PolicySpec
+from repro.session import simulate
+from repro.stats.comparison import PolicyComparison
+from repro.stats.report import RunReport
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+__all__ = ["ExperimentRunner", "SweepResult"]
+
+
+@dataclass
+class SweepResult:
+    """Reports for a (workload x policy) grid."""
+
+    reports: dict[tuple[str, str], RunReport] = field(default_factory=dict)
+
+    def add(self, report: RunReport) -> None:
+        self.reports[(report.workload, report.policy)] = report
+
+    def get(self, workload: str, policy: str) -> RunReport:
+        return self.reports[(workload, policy)]
+
+    def workloads(self) -> list[str]:
+        seen: list[str] = []
+        for workload, _policy in self.reports:
+            if workload not in seen:
+                seen.append(workload)
+        return seen
+
+    def policies(self) -> list[str]:
+        seen: list[str] = []
+        for _workload, policy in self.reports:
+            if policy not in seen:
+                seen.append(policy)
+        return seen
+
+    def comparison(self, workload: str) -> PolicyComparison:
+        """All of one workload's reports as a :class:`PolicyComparison`."""
+        comparison = PolicyComparison(workload=workload)
+        for (name, _policy), report in self.reports.items():
+            if name == workload:
+                comparison.add(report)
+        if not comparison.reports:
+            raise KeyError(f"no reports recorded for workload {workload!r}")
+        return comparison
+
+    def merged(self, other: "SweepResult") -> "SweepResult":
+        """Union of two sweeps (other wins on conflicts)."""
+        merged = SweepResult(reports=dict(self.reports))
+        merged.reports.update(other.reports)
+        return merged
+
+
+class ExperimentRunner:
+    """Runs and memoizes (workload, policy) simulations.
+
+    Args:
+        scale: workload scale factor passed to the trace generators.
+        config: system configuration (defaults to the scaled 8-CU system).
+        workload_names: subset of workloads to evaluate (defaults to all 17).
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        config: Optional[SystemConfig] = None,
+        workload_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.scale = scale
+        self.config = config or default_config()
+        self.workload_names = tuple(workload_names or WORKLOAD_NAMES)
+        self._cache: dict[tuple[str, str], RunReport] = {}
+
+    # ------------------------------------------------------------------
+    def run_one(self, workload_name: str, policy: PolicySpec) -> RunReport:
+        """Simulate one (workload, policy) pair, memoized."""
+        key = (workload_name, policy.name)
+        if key not in self._cache:
+            workload = get_workload(workload_name, scale=self.scale)
+            self._cache[key] = simulate(workload, policy, config=self.config)
+        return self._cache[key]
+
+    def sweep(
+        self,
+        policies: Iterable[PolicySpec] = STATIC_POLICIES,
+        workload_names: Optional[Sequence[str]] = None,
+    ) -> SweepResult:
+        """Simulate every requested workload under every requested policy."""
+        result = SweepResult()
+        names = tuple(workload_names or self.workload_names)
+        for name in names:
+            for policy in policies:
+                result.add(self.run_one(name, policy))
+        return result
+
+    def cached_runs(self) -> int:
+        """Number of simulations memoized so far."""
+        return len(self._cache)

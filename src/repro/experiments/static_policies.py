@@ -1,0 +1,104 @@
+"""Figures 6-9: characterization of the three static caching policies.
+
+One sweep (every workload under Uncached, CacheR and CacheRW) provides the
+data for all four figures:
+
+* Figure 6 -- execution time normalized to Uncached.
+* Figure 7 -- GPU memory requests reaching DRAM, normalized to Uncached.
+* Figure 8 -- cache stalls per GPU memory request (log scale in the paper).
+* Figure 9 -- DRAM row-buffer hit ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.classification import WorkloadCategory, classify
+from repro.core.policies import STATIC_POLICIES, UNCACHED
+from repro.experiments.runner import ExperimentRunner, SweepResult
+
+__all__ = [
+    "static_policy_sweep",
+    "figure6_execution_time",
+    "figure7_dram_accesses",
+    "figure8_cache_stalls",
+    "figure9_row_hit_rate",
+    "measured_categories",
+]
+
+
+def static_policy_sweep(runner: Optional[ExperimentRunner] = None) -> SweepResult:
+    """Every workload under the three static policies (shared by Figs 6-9)."""
+    runner = runner or ExperimentRunner()
+    return runner.sweep(policies=STATIC_POLICIES)
+
+
+def _per_workload(
+    sweep: SweepResult, metric: str, normalize_to_uncached: bool
+) -> dict[str, dict[str, float]]:
+    result: dict[str, dict[str, float]] = {}
+    for workload in sweep.workloads():
+        comparison = sweep.comparison(workload)
+        if metric == "exec_time":
+            values = (
+                comparison.normalized_exec_time(UNCACHED.name)
+                if normalize_to_uncached
+                else comparison.exec_times()
+            )
+        elif metric == "dram":
+            values = (
+                comparison.normalized_dram_accesses(UNCACHED.name)
+                if normalize_to_uncached
+                else comparison.metric(lambda r: float(r.dram_accesses))
+            )
+        elif metric == "stalls":
+            values = comparison.stalls_per_request()
+        elif metric == "row_hits":
+            values = comparison.row_hit_rates()
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        result[workload] = values
+    return result
+
+
+def figure6_execution_time(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 6: execution time per static policy, normalized to Uncached."""
+    sweep = sweep or static_policy_sweep(runner)
+    return _per_workload(sweep, "exec_time", normalize_to_uncached=True)
+
+
+def figure7_dram_accesses(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 7: DRAM accesses per static policy, normalized to Uncached."""
+    sweep = sweep or static_policy_sweep(runner)
+    return _per_workload(sweep, "dram", normalize_to_uncached=True)
+
+
+def figure8_cache_stalls(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 8: cache stall cycles per GPU memory request."""
+    sweep = sweep or static_policy_sweep(runner)
+    return _per_workload(sweep, "stalls", normalize_to_uncached=False)
+
+
+def figure9_row_hit_rate(
+    runner: Optional[ExperimentRunner] = None, sweep: Optional[SweepResult] = None
+) -> dict[str, dict[str, float]]:
+    """Figure 9: DRAM row-buffer hit ratio per static policy."""
+    sweep = sweep or static_policy_sweep(runner)
+    return _per_workload(sweep, "row_hits", normalize_to_uncached=False)
+
+
+def measured_categories(
+    sweep: SweepResult, band: float = 0.05
+) -> dict[str, WorkloadCategory]:
+    """Classify every workload from the measured static-policy results."""
+    categories: dict[str, WorkloadCategory] = {}
+    for workload in sweep.workloads():
+        comparison = sweep.comparison(workload)
+        categories[workload] = classify(comparison.exec_times(), baseline=UNCACHED.name, band=band)
+    return categories

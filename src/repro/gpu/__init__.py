@@ -1,0 +1,24 @@
+"""GPU compute-side models.
+
+The GPU model executes :class:`~repro.workloads.trace.WorkloadTrace` objects
+against a :class:`~repro.memory.hierarchy.MemoryHierarchy`:
+
+* :mod:`repro.gpu.coalescer` -- per-wavefront memory coalescing (used at
+  trace-generation time).
+* :mod:`repro.gpu.lds` -- local-data-share staging filter that removes
+  nearby-work-item reuse from the generated traffic (that reuse exists even
+  when GPU caches are bypassed, as the paper notes).
+* :mod:`repro.gpu.wavefront` -- the wavefront state machine.
+* :mod:`repro.gpu.compute_unit` -- a CU: issue bandwidth, SIMD occupancy,
+  resident-wavefront slots.
+* :mod:`repro.gpu.gpu` -- kernel dispatch, wavefront scheduling across CUs,
+  kernel-boundary synchronization.
+"""
+
+from repro.gpu.coalescer import coalesce_addresses
+from repro.gpu.lds import LdsFilter
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.gpu import Gpu
+from repro.gpu.wavefront import Wavefront
+
+__all__ = ["coalesce_addresses", "LdsFilter", "ComputeUnit", "Gpu", "Wavefront"]

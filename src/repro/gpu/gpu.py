@@ -1,0 +1,141 @@
+"""Kernel dispatch and the top-level GPU model.
+
+The :class:`Gpu` executes a :class:`~repro.workloads.trace.WorkloadTrace`
+kernel by kernel.  Within a kernel, wavefronts are dispatched to CUs in
+round-robin order as slots free up (mirroring the hardware workgroup
+dispatcher).  When the last wavefront of a kernel completes, the GPU applies
+the kernel-boundary synchronization required by the coherence protocol
+(self-invalidation of valid data and a flush of dirty L2 data -- see
+:meth:`repro.memory.hierarchy.MemoryHierarchy.kernel_boundary`), waits for
+the flush to drain, pays the kernel-launch overhead, and starts the next
+kernel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.engine import Simulator
+from repro.gpu.compute_unit import ComputeUnit
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatsCollector
+from repro.workloads.trace import KernelTrace, WorkloadTrace
+
+__all__ = ["Gpu"]
+
+
+class Gpu:
+    """The GPU: a set of CUs plus the kernel dispatcher."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+        hierarchy: MemoryHierarchy,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.cus = [
+            ComputeUnit(
+                cu_id=cu,
+                config=config.gpu,
+                sim=sim,
+                stats=stats,
+                hierarchy=hierarchy,
+                on_wavefront_finished=self._on_wavefront_finished,
+            )
+            for cu in range(config.gpu.num_cus)
+        ]
+        self._wavefront_ids = itertools.count()
+        self._pending_wavefronts: deque = deque()
+        self._kernel_outstanding = 0
+        self._kernels: deque[KernelTrace] = deque()
+        self._kernel_index = -1
+        self._running = False
+        self._next_cu = 0
+        self._on_workload_complete: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    def run_workload(
+        self, workload: WorkloadTrace, on_complete: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Schedule ``workload`` for execution starting at the current cycle."""
+        if self._running:
+            raise RuntimeError("a workload is already running on this GPU")
+        if workload.num_kernels == 0:
+            raise ValueError(f"workload {workload.name!r} has no kernels")
+        self._running = True
+        self._kernels = deque(workload.kernels)
+        self._kernel_index = -1
+        self._on_workload_complete = on_complete
+        self.stats.set("gpu.kernels_total", workload.num_kernels)
+        self.sim.schedule(self.config.gpu.kernel_launch_cycles, self._launch_next_kernel)
+
+    # ------------------------------------------------------------------
+    def _launch_next_kernel(self) -> None:
+        if not self._kernels:
+            self._running = False
+            self.stats.set("gpu.finish_cycle", self.sim.now)
+            if self._on_workload_complete is not None:
+                self._on_workload_complete()
+            return
+        kernel = self._kernels.popleft()
+        self._kernel_index += 1
+        self.stats.add("gpu.kernels_launched")
+        if kernel.num_wavefronts == 0:
+            raise ValueError(f"kernel {kernel.name!r} has no wavefronts")
+        self._kernel_outstanding = kernel.num_wavefronts
+        self._pending_wavefronts = deque(
+            (next(self._wavefront_ids), self._kernel_index, program)
+            for program in kernel.wavefronts
+        )
+        self._fill_cus()
+
+    def _fill_cus(self) -> None:
+        """Dispatch queued wavefronts onto CUs with free slots, round robin."""
+        if not self._pending_wavefronts:
+            return
+        num_cus = len(self.cus)
+        attempts = 0
+        while self._pending_wavefronts and attempts < num_cus:
+            cu = self.cus[self._next_cu]
+            self._next_cu = (self._next_cu + 1) % num_cus
+            if cu.has_free_slot:
+                wavefront_id, kernel_id, program = self._pending_wavefronts.popleft()
+                cu.start_wavefront(wavefront_id, kernel_id, program)
+                attempts = 0
+            else:
+                attempts += 1
+
+    def _on_wavefront_finished(self, cu_id: int) -> None:
+        self._kernel_outstanding -= 1
+        if self._pending_wavefronts:
+            self._fill_cus()
+        if self._kernel_outstanding == 0 and not self._pending_wavefronts:
+            self._kernel_complete()
+
+    def _kernel_complete(self) -> None:
+        self.stats.add("gpu.kernels_completed")
+
+        def after_sync() -> None:
+            launch_delay = self.config.gpu.kernel_launch_cycles
+            self.sim.schedule(launch_delay, self._launch_next_kernel)
+
+        self.hierarchy.kernel_boundary(after_sync)
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def occupancy(self) -> float:
+        """Fraction of wavefront slots currently occupied (for debugging)."""
+        resident = sum(cu.resident_wavefronts for cu in self.cus)
+        capacity = sum(cu.max_resident_wavefronts for cu in self.cus)
+        return resident / capacity if capacity else 0.0

@@ -1,0 +1,143 @@
+"""Wavefront execution state machine.
+
+A wavefront walks its :class:`~repro.workloads.trace.WavefrontProgram` in
+order.  Compute instructions occupy the CU's SIMD resource; memory
+instructions issue line requests into the memory hierarchy.  A wavefront may
+keep a bounded number of memory instructions in flight
+(``max_outstanding_mem_per_wave``); past that it stalls until responses
+return -- this is the mechanism by which memory latency that cannot be
+hidden turns into lost issue slots and, ultimately, execution time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.memory.request import MemoryRequest
+from repro.workloads.trace import ComputeInstr, MemInstr, WavefrontProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.compute_unit import ComputeUnit
+
+__all__ = ["Wavefront"]
+
+
+class Wavefront:
+    """Runtime state of one wavefront resident on a CU."""
+
+    def __init__(
+        self,
+        wavefront_id: int,
+        kernel_id: int,
+        program: WavefrontProgram,
+        cu: "ComputeUnit",
+        on_finished: Callable[["Wavefront"], None],
+    ) -> None:
+        self.wavefront_id = wavefront_id
+        self.kernel_id = kernel_id
+        self.program = program
+        self.cu = cu
+        self.on_finished = on_finished
+        self._next_instr = 0
+        self._inflight_mem = 0
+        self._pending_lines: dict[int, int] = {}  # mem-instr index -> lines outstanding
+        self._blocked = False
+        self._finished = False
+        self.issued_lines = 0
+        self.issued_vector_ops = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin executing at the current simulation time."""
+        self.cu.sim.schedule(0, self._issue_next)
+
+    # ------------------------------------------------------------------
+    @property
+    def done_issuing(self) -> bool:
+        return self._next_instr >= len(self.program.instructions)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _issue_next(self) -> None:
+        if self._finished:
+            return
+        if self.done_issuing:
+            self._maybe_finish()
+            return
+        if self._inflight_mem >= self.cu.max_outstanding_mem:
+            self._blocked = True
+            return
+        grant = self.cu.issue_port.grant(self.cu.sim.now)
+        instruction = self.program.instructions[self._next_instr]
+        self._next_instr += 1
+        if isinstance(instruction, ComputeInstr):
+            self.cu.sim.schedule_at(grant, lambda: self._execute_compute(instruction))
+        else:
+            self.cu.sim.schedule_at(grant, lambda: self._execute_memory(instruction))
+
+    def _execute_compute(self, instruction: ComputeInstr) -> None:
+        now = self.cu.sim.now
+        end = self.cu.book_compute(now, instruction.vector_ops)
+        self.issued_vector_ops += instruction.vector_ops
+        self.cu.stats.add("gpu.vector_ops", instruction.vector_ops)
+        self.cu.sim.schedule_at(max(end, now), self._issue_next)
+
+    def _execute_memory(self, instruction: MemInstr) -> None:
+        now = self.cu.sim.now
+        index = self._next_instr - 1
+        self._pending_lines[index] = len(instruction.line_addresses)
+        self._inflight_mem += 1
+        self.cu.stats.add("gpu.mem_instructions")
+        for address in instruction.line_addresses:
+            request = MemoryRequest(
+                access=instruction.access,
+                address=address,
+                pc=instruction.pc,
+                cu_id=self.cu.cu_id,
+                wavefront_id=self.wavefront_id,
+                kernel_id=self.kernel_id,
+                issue_cycle=now,
+            )
+            self.issued_lines += 1
+            self.cu.issue_memory_request(
+                request, lambda req, idx=index: self._on_response(idx, req)
+            )
+        # keep issuing unless the in-flight window is now full
+        if self._inflight_mem < self.cu.max_outstanding_mem:
+            self.cu.sim.schedule(1, self._issue_next)
+        else:
+            self._blocked = True
+
+    def _on_response(self, index: int, request: MemoryRequest) -> None:
+        remaining = self._pending_lines.get(index)
+        if remaining is None:
+            raise RuntimeError(
+                f"wavefront {self.wavefront_id} got a response for an unknown "
+                f"memory instruction (index {index})"
+            )
+        if remaining <= 1:
+            del self._pending_lines[index]
+            self._inflight_mem -= 1
+        else:
+            self._pending_lines[index] = remaining - 1
+        self.cu.stats.observe("gpu.mem_latency", self.cu.sim.now - request.issue_cycle)
+        if self._blocked and self._inflight_mem < self.cu.max_outstanding_mem:
+            self._blocked = False
+            self.cu.sim.schedule(0, self._issue_next)
+        elif self.done_issuing:
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._finished or not self.done_issuing or self._inflight_mem > 0:
+            return
+        self._finished = True
+        self.on_finished(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Wavefront(id={self.wavefront_id}, kernel={self.kernel_id}, "
+            f"instr={self._next_instr}/{len(self.program.instructions)}, "
+            f"inflight={self._inflight_mem})"
+        )

@@ -1,0 +1,26 @@
+"""GPU memory hierarchy models.
+
+This package contains the timing models of everything below the compute
+units: per-CU L1 data caches, the shared banked GPU L2, the host directory
+interface, the HBM-style DRAM and the links between them.  The hierarchy is
+assembled by :class:`~repro.memory.hierarchy.MemoryHierarchy` according to a
+:class:`~repro.core.policy_engine.PolicyEngine`, which decides per request
+whether it is cached, bypassed, coalesced or rinsed.
+"""
+
+from repro.memory.request import AccessType, MemoryRequest
+from repro.memory.cache import Cache, CacheLine, LineState
+from repro.memory.dram import DramBank, DramChannel, DramSystem
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AccessType",
+    "MemoryRequest",
+    "Cache",
+    "CacheLine",
+    "LineState",
+    "DramBank",
+    "DramChannel",
+    "DramSystem",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,70 @@
+"""Physical address to DRAM coordinate mapping.
+
+The mapping interleaves consecutive cache lines across channels first (to
+spread bandwidth), then fills the columns of one row within a bank, then
+moves to the next bank.  This is the standard GPU/HBM style mapping: a
+sequential stream of lines touches every channel, stays within one row per
+bank for ``lines_per_row`` lines, and therefore enjoys high row-buffer
+locality -- exactly the property that the paper observes caching can
+disrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+
+__all__ = ["DramCoordinates", "AddressMapping"]
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Location of one cache line in the DRAM system."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+    def global_bank(self, banks_per_channel: int) -> int:
+        """Bank id unique across channels."""
+        return self.channel * banks_per_channel + self.bank
+
+
+class AddressMapping:
+    """Maps byte addresses to (channel, bank, row, column) coordinates."""
+
+    def __init__(self, config: DramConfig, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        if config.row_bytes % line_bytes != 0:
+            raise ValueError("row_bytes must be a multiple of line_bytes")
+        self.config = config
+        self.line_bytes = line_bytes
+        self.lines_per_row = config.row_bytes // line_bytes
+
+    def locate(self, address: int) -> DramCoordinates:
+        """Coordinates of the line containing ``address``."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line_index = address // self.line_bytes
+        channel = line_index % self.config.channels
+        rest = line_index // self.config.channels
+        column = rest % self.lines_per_row
+        rest //= self.lines_per_row
+        bank = rest % self.config.banks_per_channel
+        row = rest // self.config.banks_per_channel
+        return DramCoordinates(channel=channel, bank=bank, row=row, column=column)
+
+    def row_id(self, address: int) -> int:
+        """A globally unique identifier for the DRAM row holding ``address``.
+
+        Used by the dirty-block index: two line addresses share a row id if
+        and only if they live in the same row of the same bank of the same
+        channel, so rinsing them together produces consecutive row hits.
+        """
+        loc = self.locate(address)
+        banks = self.config.banks_per_channel
+        channels = self.config.channels
+        return (loc.row * banks + loc.bank) * channels + loc.channel

@@ -1,0 +1,635 @@
+"""Set-associative GPU cache with MSHRs and blocking allocation.
+
+The same class models both the per-CU write-through L1 data caches and the
+shared GPU L2.  The behaviours the paper's results hinge on are all modelled
+explicitly:
+
+* **Blocking allocation** -- a miss needs a victim way that is not busy
+  (pending fill) and a free MSHR.  When neither is available the request is
+  blocked at the cache input and every blocked cycle is counted as a *cache
+  stall* (paper section VI.C.1).
+* **Allocation bypass** -- with the optimization of section VII.A enabled,
+  a request that would block is instead converted into a bypass request and
+  forwarded downstream without allocating.
+* **Bypass coalescing** -- bypassed loads to the same line are merged while
+  the original bypass request is outstanding (paper section III).
+* **Write combining (CacheRW)** -- stores allocate dirty lines without
+  fetching and later stores to the same line coalesce; dirty data is written
+  back on eviction or when :meth:`flush_dirty` is called at a system-scope
+  synchronization point.
+* **Self-invalidation** -- :meth:`invalidate_clean` drops all
+
+  valid clean lines at kernel boundaries (GPU release/acquire semantics).
+* **Cache rinsing (DBI)** -- when a dirty line is evicted and a
+  :class:`~repro.core.dirty_block_index.DirtyBlockIndex` is attached, all
+  other dirty lines mapping to the same DRAM row are written back with it
+  (paper section VII.B).
+* **PC-based bypassing** -- when a reuse predictor is attached, loads and
+  stores whose PC is predicted dead bypass the cache; a subset of sampler
+  sets always caches so the predictor keeps learning (paper section VII.C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.config import CacheConfig
+from repro.engine import Simulator, ThroughputResource, WaitQueue
+from repro.memory.mshr import MshrFile
+from repro.memory.replacement import make_replacement
+from repro.memory.request import AccessType, MemoryRequest
+from repro.stats import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.dirty_block_index import DirtyBlockIndex
+    from repro.core.reuse_predictor import ReusePredictor
+
+__all__ = ["Cache", "CacheLine", "LineState"]
+
+#: latency of the pass-through path used by bypassed requests (cycles)
+BYPASS_LATENCY = 5
+
+
+class LineState(enum.Enum):
+    """State of one cache line."""
+
+    INVALID = "invalid"
+    VALID = "valid"
+    DIRTY = "dirty"
+    PENDING = "pending"
+
+
+@dataclass
+class CacheLine:
+    """One way of one set."""
+
+    state: LineState = LineState.INVALID
+    tag: int = -1
+    inserted_pc: int = 0
+    reused: bool = False
+
+    @property
+    def busy(self) -> bool:
+        return self.state is LineState.PENDING
+
+    @property
+    def holds_data(self) -> bool:
+        return self.state in (LineState.VALID, LineState.DIRTY)
+
+
+DownstreamFn = Callable[[MemoryRequest, Callable[[MemoryRequest], None]], None]
+
+
+class Cache:
+    """Timing model of one GPU cache level.
+
+    Args:
+        name: human-readable identifier (e.g. ``"l1.cu3"`` or ``"l2"``).
+        config: geometry and latency parameters.
+        sim: shared simulator (event queue).
+        stats: shared counter store; counters are prefixed with
+            ``stat_prefix``.
+        downstream: function used to forward misses, bypasses and writebacks
+            to the next level.  It receives the request and a response
+            callback.
+        stat_prefix: namespace for this cache's counters (``"l1"``/``"l2"``),
+            so per-CU L1s aggregate naturally.
+        allocation_bypass: enable the section VII.A optimization.
+        reuse_predictor: optional PC-based reuse predictor (section VII.C).
+        dirty_block_index: optional DBI used for cache rinsing (VII.B).
+        row_of: maps a line address to its DRAM row identifier (required when
+            a DBI is attached).
+        replacement: ``"lru"`` (default) or ``"random"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+        downstream: DownstreamFn,
+        stat_prefix: str,
+        allocation_bypass: bool = False,
+        reuse_predictor: Optional["ReusePredictor"] = None,
+        dirty_block_index: Optional["DirtyBlockIndex"] = None,
+        row_of: Optional[Callable[[int], int]] = None,
+        replacement: str = "lru",
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.downstream = downstream
+        self.prefix = stat_prefix
+        self.allocation_bypass = allocation_bypass
+        self.reuse_predictor = reuse_predictor
+        self.dbi = dirty_block_index
+        self.row_of = row_of
+        if self.dbi is not None and self.row_of is None:
+            raise ValueError("a dirty-block index requires a row_of mapping function")
+
+        self.sets: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(config.assoc)] for _ in range(config.num_sets)
+        ]
+        self.replacement = make_replacement(replacement, config.num_sets, config.assoc)
+        self.mshrs = MshrFile(config.mshrs)
+        self.bypass_pending = MshrFile(capacity=None)
+        self.port = ThroughputResource(f"{name}.port", cycles_per_grant=1.0 / config.ports)
+        self._set_waiters: dict[int, WaitQueue] = {}
+        # sampler sets always cache so the reuse predictor keeps training
+        self._sampler_stride = 16
+        # blocked-on-MSHR requests poll for a free entry on this period; the
+        # added latency is negligible next to memory latency under load and
+        # the polling model cannot lose wake-ups
+        self._mshr_retry_period = 64
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def access(self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]) -> None:
+        """Handle ``request`` arriving at this cache at the current cycle."""
+        self.stats.add(f"{self.prefix}.accesses")
+        if self._is_bypass(request):
+            self._bypass_access(request, on_done)
+            return
+        now = self.sim.now
+        grant = self.port.grant(now)
+        wait = grant - now
+        if wait > 0:
+            self.stats.add(f"{self.prefix}.stall_cycles_port", wait)
+            self.stats.add(f"{self.prefix}.stall_cycles", wait)
+        self.sim.schedule_at(grant, lambda: self._lookup(request, on_done, first_attempt=True))
+
+    def invalidate_clean(self) -> int:
+        """Self-invalidate every valid (clean) line; returns the count dropped.
+
+        Dirty lines are left in place -- they are handled by
+        :meth:`flush_dirty` at release synchronization points.
+        """
+        dropped = 0
+        for set_index, ways in enumerate(self.sets):
+            for way, line in enumerate(ways):
+                if line.state is LineState.VALID:
+                    self._notify_eviction(line)
+                    line.state = LineState.INVALID
+                    line.tag = -1
+                    dropped += 1
+        self.stats.add(f"{self.prefix}.self_invalidations", dropped)
+        return dropped
+
+    def flush_dirty(self, on_complete: Callable[[], None], keep_clean: bool = True) -> int:
+        """Write back every dirty line, then invoke ``on_complete``.
+
+        Returns the number of writebacks issued.  With a dirty-block index
+        attached the flush walks DRAM rows (row-ordered writebacks); without
+        one it walks sets in index order, which is what a hardware flush
+        engine does and which produces the row-locality disruption discussed
+        in section VI.C.2.
+
+        Args:
+            keep_clean: leave the flushed lines valid (clean) in the cache,
+                as a release flush does; pass False to invalidate them.
+        """
+        dirty: list[tuple[int, int]] = []  # (set_index, way)
+        for set_index, ways in enumerate(self.sets):
+            for way, line in enumerate(ways):
+                if line.state is LineState.DIRTY:
+                    dirty.append((set_index, way))
+        if not dirty:
+            self.sim.schedule(0, on_complete)
+            return 0
+        if self.dbi is not None:
+            dirty.sort(key=lambda sw: self.row_of(self._line_address(*sw)))
+        outstanding = len(dirty)
+
+        def writeback_done(_req: MemoryRequest) -> None:
+            nonlocal outstanding
+            outstanding -= 1
+            if outstanding == 0:
+                on_complete()
+
+        for set_index, way in dirty:
+            line = self.sets[set_index][way]
+            address = self._line_address(set_index, way)
+            if keep_clean:
+                line.state = LineState.VALID
+            else:
+                self._notify_eviction(line)
+                line.state = LineState.INVALID
+                line.tag = -1
+            if self.dbi is not None:
+                self.dbi.clear(address)
+            self._send_writeback(address, writeback_done)
+        self.stats.add(f"{self.prefix}.flush_writebacks", len(dirty))
+        return len(dirty)
+
+    def contents(self) -> dict[int, LineState]:
+        """Snapshot of line states keyed by line address (for tests)."""
+        result: dict[int, LineState] = {}
+        for set_index, ways in enumerate(self.sets):
+            for way, line in enumerate(ways):
+                if line.state is not LineState.INVALID and line.tag >= 0:
+                    result[self._line_address(set_index, way)] = line.state
+        return result
+
+    def dirty_line_count(self) -> int:
+        """Number of dirty lines currently held."""
+        return sum(
+            1 for ways in self.sets for line in ways if line.state is LineState.DIRTY
+        )
+
+    # ------------------------------------------------------------------
+    # lookup path
+    # ------------------------------------------------------------------
+    def _is_bypass(self, request: MemoryRequest) -> bool:
+        """Decide whether this request uses the bypass path at this level."""
+        if self.prefix.startswith("l1"):
+            if request.bypass_l1:
+                return True
+        elif request.bypass_l2:
+            return True
+        if self.reuse_predictor is not None and not self._is_sampler_set(request):
+            if self.reuse_predictor.should_bypass(request.pc):
+                self.stats.add(f"{self.prefix}.predictor_bypasses")
+                return True
+        return False
+
+    def _is_sampler_set(self, request: MemoryRequest) -> bool:
+        set_index = self.config.set_index(request.address)
+        return set_index % self._sampler_stride == 0
+
+    def _lookup(
+        self,
+        request: MemoryRequest,
+        on_done: Callable[[MemoryRequest], None],
+        first_attempt: bool,
+    ) -> None:
+        now = self.sim.now
+        line_address = request.line_address(self.config.line_bytes)
+        set_index = self.config.set_index(request.address)
+        ways = self.sets[set_index]
+        tag = line_address
+
+        # hit?
+        for way, line in enumerate(ways):
+            if line.holds_data and line.tag == tag:
+                self._on_hit(request, set_index, way, on_done)
+                return
+
+        # outstanding miss for the same line?
+        entry = self.mshrs.lookup(line_address)
+        if entry is not None:
+            if request.is_store and self.config.writeback:
+                # the store's data will be merged when the fill returns
+                entry.add_waiter(request)
+                self.stats.add(f"{self.prefix}.store_coalesced_on_miss")
+            else:
+                self.mshrs.coalesce(line_address, request)
+            self.stats.add(f"{self.prefix}.mshr_coalesced")
+            self._record_waiter_callback(request, on_done)
+            return
+
+        # miss: need an MSHR (loads) and a victim way
+        if first_attempt:
+            self.stats.add(f"{self.prefix}.misses")
+        if request.is_store and self.config.writeback:
+            self._store_allocate(request, set_index, on_done, first_attempt)
+            return
+        self._load_miss(request, set_index, line_address, on_done, first_attempt)
+
+    def _on_hit(
+        self,
+        request: MemoryRequest,
+        set_index: int,
+        way: int,
+        on_done: Callable[[MemoryRequest], None],
+    ) -> None:
+        line = self.sets[set_index][way]
+        line.reused = True
+        if self.reuse_predictor is not None:
+            self.reuse_predictor.train_reuse(line.inserted_pc)
+            self.reuse_predictor.train_reuse(request.pc)
+        self.replacement.on_access(set_index, way, self.sim.now)
+        self.stats.add(f"{self.prefix}.hits")
+        if request.is_store:
+            if self.config.writeback:
+                line.state = LineState.DIRTY
+                if self.dbi is not None:
+                    self.dbi.mark_dirty(self._line_address(set_index, way))
+                self.stats.add(f"{self.prefix}.store_hits")
+            else:
+                # write-through cache: update and forward the write downstream
+                self.stats.add(f"{self.prefix}.writethrough_stores")
+                self.sim.schedule(
+                    self.config.hit_latency,
+                    lambda: self.downstream(request, lambda r: None),
+                )
+                self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+                return
+        self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+
+    def _load_miss(
+        self,
+        request: MemoryRequest,
+        set_index: int,
+        line_address: int,
+        on_done: Callable[[MemoryRequest], None],
+        first_attempt: bool,
+    ) -> None:
+        victim_way = self._find_victim(set_index)
+        blocked_reason = None
+        if victim_way is None:
+            blocked_reason = "set_busy"
+        elif self.mshrs.full:
+            blocked_reason = "mshr_full"
+
+        if blocked_reason is not None:
+            if self.allocation_bypass:
+                request.converted_bypass = True
+                self.stats.add(f"{self.prefix}.allocation_bypasses")
+                self._bypass_access(request, on_done)
+                return
+            self._block(request, set_index, blocked_reason, on_done)
+            return
+
+        self._evict(set_index, victim_way)
+        victim = self.sets[set_index][victim_way]
+        victim.state = LineState.PENDING
+        victim.tag = line_address
+        victim.inserted_pc = request.pc
+        victim.reused = False
+        entry = self.mshrs.allocate(line_address, request, self.sim.now, allocate_way=victim_way)
+        self._record_waiter_callback(request, on_done)
+        if self.reuse_predictor is not None:
+            self.reuse_predictor.record_insertion(request.pc)
+
+        miss_request = request
+        self.sim.schedule(
+            self.config.hit_latency,
+            lambda: self.downstream(
+                miss_request, lambda resp: self._fill(line_address, set_index, victim_way)
+            ),
+        )
+
+    def _store_allocate(
+        self,
+        request: MemoryRequest,
+        set_index: int,
+        on_done: Callable[[MemoryRequest], None],
+        first_attempt: bool,
+    ) -> None:
+        """Write-combining store miss: allocate a dirty line without fetching."""
+        victim_way = self._find_victim(set_index)
+        if victim_way is None:
+            if self.allocation_bypass:
+                request.converted_bypass = True
+                self.stats.add(f"{self.prefix}.allocation_bypasses")
+                self._bypass_access(request, on_done)
+                return
+            self._block(request, set_index, "set_busy", on_done)
+            return
+        self._evict(set_index, victim_way)
+        line = self.sets[set_index][victim_way]
+        line.state = LineState.DIRTY
+        line.tag = request.line_address(self.config.line_bytes)
+        line.inserted_pc = request.pc
+        line.reused = False
+        self.replacement.on_fill(set_index, victim_way, self.sim.now)
+        if self.dbi is not None:
+            self.dbi.mark_dirty(line.tag)
+        if self.reuse_predictor is not None:
+            self.reuse_predictor.record_insertion(request.pc)
+        self.stats.add(f"{self.prefix}.store_allocates")
+        self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+
+    # ------------------------------------------------------------------
+    # blocking / waking
+    # ------------------------------------------------------------------
+    def _block(
+        self,
+        request: MemoryRequest,
+        set_index: int,
+        reason: str,
+        on_done: Callable[[MemoryRequest], None],
+    ) -> None:
+        """Park a request that cannot allocate; it retries when unblocked.
+
+        Set-busy blocking uses precise per-set wake-ups (every way of the set
+        holds a pending fill, and each completing fill wakes the waiters).
+        MSHR exhaustion uses periodic polling instead: a fill releasing an
+        MSHR does not guarantee that the woken request can use it (it may hit
+        or coalesce on retry), so event-driven wake-ups can strand waiters;
+        polling cannot.
+        """
+        blocked_at = self.sim.now
+        self.stats.add(f"{self.prefix}.blocked_{reason}")
+
+        def account(wake_time: int) -> None:
+            stall = wake_time - blocked_at
+            if stall > 0:
+                self.stats.add(f"{self.prefix}.stall_cycles_alloc", stall)
+                self.stats.add(f"{self.prefix}.stall_cycles", stall)
+
+        if reason == "set_busy":
+
+            def resume(wake_time: int) -> None:
+                account(wake_time)
+                grant = self.port.grant(wake_time)
+                self.sim.schedule_at(
+                    grant, lambda: self._lookup(request, on_done, first_attempt=False)
+                )
+
+            self._set_wait_queue(set_index).wait(blocked_at, resume)
+            return
+
+        def retry() -> None:
+            now = self.sim.now
+            if self.mshrs.full:
+                self.sim.schedule(self._mshr_retry_period, retry)
+                return
+            account(now)
+            grant = self.port.grant(now)
+            self.sim.schedule_at(
+                grant, lambda: self._lookup(request, on_done, first_attempt=False)
+            )
+
+        self.sim.schedule(self._mshr_retry_period, retry)
+
+    def _set_wait_queue(self, set_index: int) -> WaitQueue:
+        queue = self._set_waiters.get(set_index)
+        if queue is None:
+            queue = WaitQueue(f"{self.name}.set{set_index}")
+            self._set_waiters[set_index] = queue
+        return queue
+
+    def _wake_after_fill(self, set_index: int) -> None:
+        queue = self._set_waiters.get(set_index)
+        if queue:
+            queue.wake_all(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # fills, evictions, writebacks
+    # ------------------------------------------------------------------
+    def _fill(self, line_address: int, set_index: int, way: int) -> None:
+        """Downstream response arrived: install the line, answer waiters."""
+        now = self.sim.now
+        entry = self.mshrs.release(line_address)
+        line = self.sets[set_index][way]
+        requests = entry.all_requests
+        any_store = any(r.is_store for r in requests)
+        line.state = (
+            LineState.DIRTY if (any_store and self.config.writeback) else LineState.VALID
+        )
+        line.tag = line_address
+        self.replacement.on_fill(set_index, way, now)
+        if line.state is LineState.DIRTY and self.dbi is not None:
+            self.dbi.mark_dirty(line_address)
+        if len(requests) > 1:
+            line.reused = True
+            if self.reuse_predictor is not None:
+                self.reuse_predictor.train_reuse(line.inserted_pc)
+        self.stats.add(f"{self.prefix}.fills")
+        for req in requests:
+            callback = self._pop_waiter_callback(req)
+            if callback is not None:
+                self.sim.schedule(0, lambda r=req, cb=callback: cb(r))
+        self._wake_after_fill(set_index)
+
+    def _find_victim(self, set_index: int) -> Optional[int]:
+        """Pick a victim way, or None if every way is busy (pending fill)."""
+        ways = self.sets[set_index]
+        invalid = [w for w, line in enumerate(ways) if line.state is LineState.INVALID]
+        if invalid:
+            return invalid[0]
+        candidates = [w for w, line in enumerate(ways) if not line.busy]
+        if not candidates:
+            return None
+        return self.replacement.select_victim(set_index, candidates)
+
+    def _evict(self, set_index: int, way: int) -> None:
+        """Evict the current occupant of ``way`` (issuing writebacks as needed)."""
+        line = self.sets[set_index][way]
+        if line.state is LineState.INVALID:
+            return
+        address = self._line_address(set_index, way)
+        self._notify_eviction(line)
+        if line.state is LineState.DIRTY:
+            self.stats.add(f"{self.prefix}.eviction_writebacks")
+            if self.dbi is not None:
+                self._rinse_row(address)
+            else:
+                self._send_writeback(address, lambda r: None)
+        else:
+            self.stats.add(f"{self.prefix}.clean_evictions")
+        line.state = LineState.INVALID
+        line.tag = -1
+
+    def _rinse_row(self, evicted_address: int) -> None:
+        """Write back the evicted dirty line plus all dirty lines in its DRAM row."""
+        row = self.row_of(evicted_address)
+        victims = [evicted_address]
+        for address in self.dbi.dirty_lines_in_row(row):
+            if address != evicted_address:
+                victims.append(address)
+        self.dbi.clear(evicted_address)
+        for address in victims[1:]:
+            located = self._locate(address)
+            if located is None:
+                self.dbi.clear(address)
+                continue
+            set_index, way = located
+            line = self.sets[set_index][way]
+            if line.state is not LineState.DIRTY:
+                self.dbi.clear(address)
+                continue
+            line.state = LineState.VALID  # data stays, now clean
+            self.dbi.clear(address)
+            self.stats.add(f"{self.prefix}.rinse_writebacks")
+            self._send_writeback(address, lambda r: None)
+        self._send_writeback(evicted_address, lambda r: None)
+
+    def _locate(self, line_address: int) -> Optional[tuple[int, int]]:
+        set_index = self.config.set_index(line_address)
+        for way, line in enumerate(self.sets[set_index]):
+            if line.holds_data and line.tag == line_address:
+                return set_index, way
+        return None
+
+    def _send_writeback(self, address: int, on_done: Callable[[MemoryRequest], None]) -> None:
+        writeback = MemoryRequest(
+            access=AccessType.STORE,
+            address=address,
+            pc=0,
+            issue_cycle=self.sim.now,
+            bypass_l1=True,
+            bypass_l2=True,
+        )
+        self.stats.add(f"{self.prefix}.writebacks")
+        self.downstream(writeback, on_done)
+
+    def _notify_eviction(self, line: CacheLine) -> None:
+        if self.reuse_predictor is not None and line.state is not LineState.INVALID:
+            self.reuse_predictor.train_eviction(line.inserted_pc, line.reused)
+
+    # ------------------------------------------------------------------
+    # bypass path
+    # ------------------------------------------------------------------
+    def _bypass_access(
+        self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]
+    ) -> None:
+        """Forward without allocation, coalescing pending bypassed loads."""
+        self.stats.add(f"{self.prefix}.bypasses")
+        line_address = request.line_address(self.config.line_bytes)
+        if request.is_load:
+            pending = self.bypass_pending.lookup(line_address)
+            if pending is not None:
+                self.bypass_pending.coalesce(line_address, request)
+                self._record_waiter_callback(request, on_done)
+                self.stats.add(f"{self.prefix}.bypass_coalesced")
+                return
+            self.bypass_pending.allocate(line_address, request, self.sim.now)
+            self._record_waiter_callback(request, on_done)
+            self.sim.schedule(
+                BYPASS_LATENCY,
+                lambda: self.downstream(request, lambda resp: self._bypass_fill(line_address)),
+            )
+            return
+        # bypassed store: fire and forward; completion when downstream accepts
+        self.sim.schedule(BYPASS_LATENCY, lambda: self.downstream(request, on_done))
+
+    def _bypass_fill(self, line_address: int) -> None:
+        entry = self.bypass_pending.release(line_address)
+        for req in entry.all_requests:
+            callback = self._pop_waiter_callback(req)
+            if callback is not None:
+                self.sim.schedule(0, lambda r=req, cb=callback: cb(r))
+
+    # ------------------------------------------------------------------
+    # waiter-callback bookkeeping
+    # ------------------------------------------------------------------
+    def _record_waiter_callback(
+        self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]
+    ) -> None:
+        # completion callbacks are stored on the request itself so coalesced
+        # requests each get their own response
+        if getattr(request, "_cache_callbacks", None) is None:
+            request._cache_callbacks = {}  # type: ignore[attr-defined]
+        request._cache_callbacks[self.name] = on_done  # type: ignore[attr-defined]
+
+    def _pop_waiter_callback(
+        self, request: MemoryRequest
+    ) -> Optional[Callable[[MemoryRequest], None]]:
+        callbacks = getattr(request, "_cache_callbacks", None)
+        if not callbacks:
+            return None
+        return callbacks.pop(self.name, None)
+
+    # ------------------------------------------------------------------
+    def _line_address(self, set_index: int, way: int) -> int:
+        return self.sets[set_index][way].tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cache({self.name}, {self.config.size_bytes // 1024} KB)"

@@ -1,0 +1,232 @@
+"""HBM-style DRAM timing model.
+
+The model captures the properties the paper measures:
+
+* per-bank open-row buffers -- an access to the open row is a *row hit*
+  (cheap); an access to a closed bank is a *row miss*; an access to a bank
+  with a different row open is a *row conflict* (precharge + activate).
+* a per-channel data bus with finite bandwidth (one 64 B burst every
+  ``burst_cycles`` cycles).
+* per-bank queues with an FR-FCFS-style scheduler: among queued requests the
+  bank prefers row hits, falling back to the oldest request, with a
+  starvation cap so old requests are not deferred indefinitely.
+* finite queue capacity -- when a bank queue is full, new arrivals wait,
+  which provides natural back-pressure to the write-through store stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import DramConfig
+from repro.engine import Simulator, ThroughputResource, WaitQueue
+from repro.memory.address_mapping import AddressMapping
+from repro.memory.request import MemoryRequest
+from repro.stats import StatsCollector
+
+__all__ = ["DramBank", "DramChannel", "DramSystem"]
+
+#: maximum consecutive row-hit preferences before the oldest request is forced
+FR_FCFS_STARVATION_LIMIT = 8
+
+
+@dataclass
+class _QueuedAccess:
+    request: MemoryRequest
+    row: int
+    arrival: int
+    on_done: Callable[[MemoryRequest], None]
+
+
+class DramBank:
+    """One DRAM bank: an open-row register, a queue and a scheduler."""
+
+    def __init__(
+        self,
+        name: str,
+        config: DramConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+        data_bus: ThroughputResource,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.data_bus = data_bus
+        self.open_row: Optional[int] = None
+        self.queue: deque[_QueuedAccess] = deque()
+        self.busy = False
+        self._hits_in_a_row = 0
+        self.full_waiters = WaitQueue(f"{name}.full")
+
+    @property
+    def queue_full(self) -> bool:
+        return len(self.queue) >= self.config.queue_depth
+
+    def enqueue(
+        self, request: MemoryRequest, row: int, on_done: Callable[[MemoryRequest], None]
+    ) -> None:
+        """Add an access to the bank queue and kick the scheduler."""
+        self.queue.append(
+            _QueuedAccess(request=request, row=row, arrival=self.sim.now, on_done=on_done)
+        )
+        self.stats.add("dram.enqueued")
+        if not self.busy:
+            self._schedule_service()
+
+    def _schedule_service(self) -> None:
+        if self.busy or not self.queue:
+            return
+        self.busy = True
+        self.sim.schedule(0, self._service_next)
+
+    def _select(self) -> _QueuedAccess:
+        """FR-FCFS: prefer a row hit unless the oldest request is starving."""
+        oldest = self.queue[0]
+        if self.open_row is None:
+            return oldest
+        if self._hits_in_a_row >= FR_FCFS_STARVATION_LIMIT:
+            self._hits_in_a_row = 0
+            return oldest
+        for access in self.queue:
+            if access.row == self.open_row:
+                return access
+        return oldest
+
+    def _service_next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        access = self._select()
+        self.queue.remove(access)
+        now = self.sim.now
+
+        if self.open_row is None:
+            latency = self.config.row_miss_cycles
+            self.stats.add("dram.row_misses")
+            self._hits_in_a_row = 0
+        elif self.open_row == access.row:
+            latency = self.config.row_hit_cycles
+            self.stats.add("dram.row_hits")
+            self._hits_in_a_row += 1
+        else:
+            latency = self.config.row_conflict_cycles
+            self.stats.add("dram.row_conflicts")
+            self._hits_in_a_row = 0
+        self.open_row = access.row
+
+        if access.request.is_load:
+            self.stats.add("dram.reads")
+        else:
+            self.stats.add("dram.writes")
+        self.stats.add("dram.accesses")
+        self.stats.observe("dram.queue_delay", now - access.arrival)
+
+        # the data transfer occupies the shared channel bus after the array access
+        bus_start = self.data_bus.grant(now + latency)
+        finish = bus_start + self.config.burst_cycles
+
+        def done() -> None:
+            access.on_done(access.request)
+            # space freed in the queue: wake a blocked producer, then continue
+            self.full_waiters.wake_one(self.sim.now)
+            self._service_next()
+
+        self.sim.schedule_at(finish, done)
+
+    def pending(self) -> int:
+        return len(self.queue) + (1 if self.busy else 0)
+
+
+class DramChannel:
+    """A channel: a set of banks sharing one data bus."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        config: DramConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+    ) -> None:
+        self.channel_id = channel_id
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.data_bus = ThroughputResource(
+            f"dram.ch{channel_id}.bus", cycles_per_grant=config.burst_cycles
+        )
+        self.banks = [
+            DramBank(f"dram.ch{channel_id}.bank{b}", config, sim, stats, self.data_bus)
+            for b in range(config.banks_per_channel)
+        ]
+
+    def access(
+        self,
+        request: MemoryRequest,
+        bank: int,
+        row: int,
+        on_done: Callable[[MemoryRequest], None],
+        on_accepted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Route an access to its bank, waiting if the bank queue is full.
+
+        ``on_accepted`` (if given) fires when the request actually enters the
+        bank queue; the write-through store path uses it to acknowledge
+        stores, which gives the producer back-pressure when banks are full.
+        """
+        target = self.banks[bank]
+        if target.queue_full:
+            self.stats.add("dram.queue_full_stalls")
+
+            def retry(_wake_time: int) -> None:
+                self.access(request, bank, row, on_done, on_accepted)
+
+            target.full_waiters.wait(self.sim.now, retry)
+            return
+        if on_accepted is not None:
+            on_accepted()
+        target.enqueue(request, row, on_done)
+
+
+class DramSystem:
+    """All channels plus the address mapping."""
+
+    def __init__(
+        self,
+        config: DramConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+        line_bytes: int = 64,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.mapping = AddressMapping(config, line_bytes=line_bytes)
+        self.channels = [DramChannel(c, config, sim, stats) for c in range(config.channels)]
+
+    def access(
+        self,
+        request: MemoryRequest,
+        on_done: Callable[[MemoryRequest], None],
+        on_accepted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Issue one line access; ``on_done`` fires when the burst completes."""
+        loc = self.mapping.locate(request.address)
+        self.channels[loc.channel].access(request, loc.bank, loc.row, on_done, on_accepted)
+
+    def row_id(self, address: int) -> int:
+        """Expose the row mapping for the dirty-block index."""
+        return self.mapping.row_id(address)
+
+    def pending(self) -> int:
+        """Total requests queued or in flight (used by drain checks in tests)."""
+        return sum(bank.pending() for ch in self.channels for bank in ch.banks)
+
+    def row_hit_rate(self) -> float:
+        """Fraction of DRAM accesses that hit an open row so far."""
+        hits = self.stats.get("dram.row_hits")
+        total = self.stats.get("dram.accesses")
+        return hits / total if total else 0.0

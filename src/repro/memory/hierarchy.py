@@ -1,0 +1,172 @@
+"""Assembly of the GPU memory hierarchy.
+
+``MemoryHierarchy`` wires the per-CU L1 data caches, the shared banked GPU
+L2, the host directory and the DRAM system together according to a
+:class:`~repro.core.policy_engine.PolicyEngine`, and provides the two
+operations the GPU model needs:
+
+* :meth:`access` -- issue one coalesced line request from a CU.
+* :meth:`kernel_boundary` -- perform the synchronization actions the paper's
+  coherence protocol requires at kernel boundaries: self-invalidate valid
+  (clean) data in the GPU caches and flush dirty L2 data to memory before
+  the next kernel may start.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import SystemConfig
+from repro.engine import Simulator
+from repro.memory.cache import Cache
+from repro.memory.directory import Directory
+from repro.memory.dram import DramSystem
+from repro.memory.interconnect import Link
+from repro.memory.request import MemoryRequest
+from repro.stats import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.policy_engine import PolicyEngine
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """The GPU-side cache hierarchy plus the path to memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        sim: Simulator,
+        stats: StatsCollector,
+        policy_engine: "PolicyEngine",
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.stats = stats
+        self.policy_engine = policy_engine
+
+        self.dram = DramSystem(config.dram, sim, stats, line_bytes=config.l2.line_bytes)
+        self.directory = Directory(
+            sim, stats, self.dram, dram_latency=config.interconnect.dir_to_dram_cycles
+        )
+        self._l2_dir_link = Link(
+            "l2_dir", sim, stats, latency=config.interconnect.l2_to_dir_cycles,
+            requests_per_cycle=float(config.interconnect.l2_banks),
+        )
+
+        # the L2 is banked: model aggregate tag bandwidth as extra ports
+        l2_config = config.l2
+        if l2_config.ports < config.interconnect.l2_banks:
+            from dataclasses import replace as dc_replace
+
+            l2_config = dc_replace(l2_config, ports=config.interconnect.l2_banks)
+
+        self.l2 = Cache(
+            name="l2",
+            config=l2_config,
+            sim=sim,
+            stats=stats,
+            downstream=self._to_directory,
+            stat_prefix="l2",
+            allocation_bypass=policy_engine.allocation_bypass,
+            reuse_predictor=policy_engine.reuse_predictor,
+            dirty_block_index=policy_engine.dirty_block_index,
+            row_of=self.dram.row_id,
+        )
+
+        self._l1_l2_links = [
+            Link(
+                f"l1_l2.cu{cu}", sim, stats,
+                latency=config.interconnect.l1_to_l2_cycles,
+                requests_per_cycle=1.0,
+            )
+            for cu in range(config.gpu.num_cus)
+        ]
+        self.l1s = [
+            Cache(
+                name=f"l1.cu{cu}",
+                config=config.l1,
+                sim=sim,
+                stats=stats,
+                downstream=self._make_l1_downstream(cu),
+                stat_prefix="l1",
+                allocation_bypass=policy_engine.allocation_bypass,
+            )
+            for cu in range(config.gpu.num_cus)
+        ]
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def _make_l1_downstream(self, cu: int):
+        link = self._l1_l2_links[cu]
+
+        def forward(request: MemoryRequest, on_done: Callable[[MemoryRequest], None]) -> None:
+            link.send(request, lambda r: self.l2.access(r, on_done))
+
+        return forward
+
+    def _to_directory(
+        self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]
+    ) -> None:
+        self._l2_dir_link.send(request, lambda r: self.directory.access(r, on_done))
+
+    # ------------------------------------------------------------------
+    # GPU-facing interface
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        cu_id: int,
+        request: MemoryRequest,
+        on_done: Callable[[MemoryRequest], None],
+    ) -> None:
+        """Issue one coalesced line request from CU ``cu_id``."""
+        if not (0 <= cu_id < len(self.l1s)):
+            raise IndexError(f"cu_id {cu_id} out of range (have {len(self.l1s)} CUs)")
+        self.policy_engine.annotate(request)
+        self.stats.add("gpu.mem_requests")
+        if request.is_load:
+            self.stats.add("gpu.load_requests")
+        else:
+            self.stats.add("gpu.store_requests")
+        self.l1s[cu_id].access(request, on_done)
+
+    def kernel_boundary(self, on_complete: Callable[[], None]) -> None:
+        """Apply release/acquire synchronization at a kernel boundary.
+
+        The per-CU L1s self-invalidate all their valid data (acquire), and
+        the L2 writes back all dirty data (system-scope release, required
+        because the host may consume kernel outputs between launches);
+        ``on_complete`` fires once every writeback has been accepted by
+        memory.  Clean data in the shared L2 persists across kernel
+        boundaries -- in the gem5 APU (VIPER-style) protocol the L2 is the
+        coherence point with the system directory and is not self-
+        invalidated on acquire, which is what allows the many-kernel RNN
+        workloads to retain weight reuse across timesteps.  Under the
+        write-through policies the flush is a no-op and ``on_complete``
+        fires on the next cycle.
+        """
+        self.stats.add("gpu.kernel_boundaries")
+        for l1 in self.l1s:
+            l1.invalidate_clean()
+        self.l2.flush_dirty(on_complete, keep_clean=True)
+
+    # ------------------------------------------------------------------
+    def row_of(self, line_address: int) -> int:
+        """DRAM row id of a line address (used by optimization components)."""
+        return self.dram.row_id(line_address)
+
+    def total_cache_stall_cycles(self) -> int:
+        """Combined L1+L2 stall cycles (the paper's cache-stall metric)."""
+        return self.stats.get("l1.stall_cycles") + self.stats.get("l2.stall_cycles")
+
+    def describe(self) -> dict[str, object]:
+        """Human-readable summary used by the CLI and examples."""
+        return {
+            "policy": self.policy_engine.policy.name,
+            "num_cus": self.config.gpu.num_cus,
+            "l1_kb_per_cu": self.config.l1.size_bytes // 1024,
+            "l2_kb": self.config.l2.size_bytes // 1024,
+            "dram_channels": self.config.dram.channels,
+        }

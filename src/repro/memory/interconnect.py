@@ -1,0 +1,55 @@
+"""Links between hierarchy levels.
+
+A :class:`Link` adds a fixed one-way latency and enforces a finite
+request-per-cycle bandwidth.  Links connect the CUs to their L1s is implicit
+(zero cycles); explicit links connect L1 -> L2, L2 -> directory and
+directory -> DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine import Simulator, ThroughputResource
+from repro.memory.request import MemoryRequest
+from repro.stats import StatsCollector
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Fixed-latency, finite-bandwidth connection between two components."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        stats: StatsCollector,
+        latency: int,
+        requests_per_cycle: float = 1.0,
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if requests_per_cycle <= 0:
+            raise ValueError("requests_per_cycle must be positive")
+        self.name = name
+        self.sim = sim
+        self.stats = stats
+        self.latency = latency
+        self.bandwidth = ThroughputResource(
+            f"{name}.bw", cycles_per_grant=1.0 / requests_per_cycle
+        )
+
+    def send(
+        self,
+        request: MemoryRequest,
+        deliver: Callable[[MemoryRequest], None],
+    ) -> None:
+        """Deliver ``request`` to the far side after latency + any bandwidth wait."""
+        now = self.sim.now
+        grant = self.bandwidth.grant(now)
+        self.stats.add(f"link.{self.name}.transfers")
+        wait = grant - now
+        if wait > 0:
+            self.stats.add(f"link.{self.name}.contention_cycles", wait)
+        self.sim.schedule_at(grant + self.latency, lambda: deliver(request))

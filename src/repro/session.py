@@ -1,0 +1,107 @@
+"""Top-level simulation entry points.
+
+:func:`simulate` is the main public API: run one workload under one caching
+policy and return a :class:`~repro.stats.report.RunReport`.
+:class:`SimulationSession` is the underlying object for callers that want
+access to the assembled components (hierarchy, GPU, statistics) -- the
+examples and some tests use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig, default_config
+from repro.core.policies import PolicySpec, policy_by_name
+from repro.core.policy_engine import PolicyEngine
+from repro.core.reuse_predictor import PredictorConfig
+from repro.engine import Simulator
+from repro.gpu.gpu import Gpu
+from repro.memory.address_mapping import AddressMapping
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import RunReport, StatsCollector
+from repro.workloads.base import Workload
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["SimulationSession", "simulate"]
+
+
+class SimulationSession:
+    """One fully assembled simulated system ready to run a workload.
+
+    Args:
+        policy: the caching policy (a :class:`PolicySpec` or its name).
+        config: system configuration; defaults to the scaled 8-CU system.
+        predictor_config: optional reuse-predictor geometry override.
+        dbi_max_rows: optional dirty-block-index capacity bound.
+    """
+
+    def __init__(
+        self,
+        policy: PolicySpec | str,
+        config: Optional[SystemConfig] = None,
+        predictor_config: Optional[PredictorConfig] = None,
+        dbi_max_rows: Optional[int] = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.policy = policy_by_name(policy) if isinstance(policy, str) else policy
+        self.sim = Simulator()
+        self.stats = StatsCollector()
+        mapping = AddressMapping(self.config.dram, line_bytes=self.config.l2.line_bytes)
+        self.policy_engine = PolicyEngine(
+            self.policy,
+            row_of=mapping.row_id,
+            predictor_config=predictor_config,
+            dbi_max_rows=dbi_max_rows,
+        )
+        self.hierarchy = MemoryHierarchy(self.config, self.sim, self.stats, self.policy_engine)
+        self.gpu = Gpu(self.config, self.sim, self.stats, self.hierarchy)
+
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload | WorkloadTrace) -> RunReport:
+        """Execute ``workload`` to completion and return its report."""
+        trace = workload.build_trace() if isinstance(workload, Workload) else workload
+        finished: list[int] = []
+
+        def on_complete() -> None:
+            finished.append(self.sim.now)
+
+        self.gpu.run_workload(trace, on_complete=on_complete)
+        self.sim.run()
+        if not finished:
+            raise RuntimeError(
+                f"simulation of {trace.name!r} under {self.policy.name} did not complete; "
+                "the event queue drained with work outstanding (model deadlock)"
+            )
+        cycles = finished[0]
+        return RunReport.from_stats(
+            workload=trace.name,
+            policy=self.policy.name,
+            cycles=cycles,
+            stats=self.stats,
+            config=self.config,
+        )
+
+
+def simulate(
+    workload: Workload | WorkloadTrace,
+    policy: PolicySpec | str,
+    config: Optional[SystemConfig] = None,
+    predictor_config: Optional[PredictorConfig] = None,
+    dbi_max_rows: Optional[int] = None,
+) -> RunReport:
+    """Run one workload under one caching policy and return its report.
+
+    This is the primary public entry point::
+
+        from repro import simulate, get_workload, CACHE_RW
+        report = simulate(get_workload("FwFc"), CACHE_RW)
+        print(report.cycles, report.dram_accesses)
+    """
+    session = SimulationSession(
+        policy=policy,
+        config=config,
+        predictor_config=predictor_config,
+        dbi_max_rows=dbi_max_rows,
+    )
+    return session.run(workload)

@@ -1,0 +1,28 @@
+"""Statistics collection and reporting.
+
+Every timing component increments counters on a shared
+:class:`~repro.stats.counters.StatsCollector`.  After a run,
+:class:`~repro.stats.report.RunReport` turns the raw counters into the
+derived metrics the paper plots (execution time, GVOPS, GMR/s, DRAM
+accesses, cache stalls per request, DRAM row-hit rate), and
+:mod:`repro.stats.comparison` provides the normalizations used by the
+figures (normalized-to-Uncached, static-best / static-worst).
+"""
+
+from repro.stats.counters import StatsCollector
+from repro.stats.report import RunReport
+from repro.stats.comparison import (
+    PolicyComparison,
+    normalize_to,
+    static_best,
+    static_worst,
+)
+
+__all__ = [
+    "StatsCollector",
+    "RunReport",
+    "PolicyComparison",
+    "normalize_to",
+    "static_best",
+    "static_worst",
+]

@@ -1,0 +1,104 @@
+"""Cross-policy comparison helpers.
+
+The paper's figures normalize each workload's metrics either to the
+Uncached policy (Figures 6-9) or to the best static policy (Figures 10-13).
+:class:`PolicyComparison` collects the :class:`~repro.stats.report.RunReport`
+objects for one workload under several policies and performs these
+normalizations plus the static-best/static-worst selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.stats.report import RunReport
+
+__all__ = ["normalize_to", "static_best", "static_worst", "PolicyComparison"]
+
+
+def normalize_to(
+    values: Mapping[str, float], baseline: str
+) -> dict[str, float]:
+    """Divide every value by the baseline's value.
+
+    Raises ``KeyError`` when the baseline is missing and ``ValueError`` when
+    its value is zero (nothing meaningful can be normalized to it).
+    """
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from values")
+    base = values[baseline]
+    if base == 0:
+        raise ValueError(f"cannot normalize to {baseline!r}: its value is zero")
+    return {name: value / base for name, value in values.items()}
+
+
+def static_best(exec_times: Mapping[str, float]) -> str:
+    """Policy name with the smallest execution time."""
+    if not exec_times:
+        raise ValueError("no execution times given")
+    return min(exec_times.items(), key=lambda kv: kv[1])[0]
+
+
+def static_worst(exec_times: Mapping[str, float]) -> str:
+    """Policy name with the largest execution time."""
+    if not exec_times:
+        raise ValueError("no execution times given")
+    return max(exec_times.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass
+class PolicyComparison:
+    """Reports for one workload under several policies."""
+
+    workload: str
+    reports: dict[str, RunReport] = field(default_factory=dict)
+
+    def add(self, report: RunReport) -> None:
+        if report.workload != self.workload:
+            raise ValueError(
+                f"report is for workload {report.workload!r}, expected {self.workload!r}"
+            )
+        self.reports[report.policy] = report
+
+    def policies(self) -> list[str]:
+        return list(self.reports.keys())
+
+    # ------------------------------------------------------------------
+    def metric(self, extract: Callable[[RunReport], float]) -> dict[str, float]:
+        """Apply ``extract`` to every report."""
+        return {policy: extract(report) for policy, report in self.reports.items()}
+
+    def exec_times(self) -> dict[str, float]:
+        return self.metric(lambda r: float(r.cycles))
+
+    def normalized_exec_time(self, baseline: str = "Uncached") -> dict[str, float]:
+        """Execution time normalized to ``baseline`` (Figure 6 view)."""
+        return normalize_to(self.exec_times(), baseline)
+
+    def normalized_dram_accesses(self, baseline: str = "Uncached") -> dict[str, float]:
+        """DRAM accesses normalized to ``baseline`` (Figure 7 view)."""
+        return normalize_to(self.metric(lambda r: float(r.dram_accesses)), baseline)
+
+    def stalls_per_request(self) -> dict[str, float]:
+        """Cache stalls per memory request (Figure 8 view)."""
+        return self.metric(lambda r: r.cache_stalls_per_request)
+
+    def row_hit_rates(self) -> dict[str, float]:
+        """DRAM row hit rates (Figure 9 view)."""
+        return self.metric(lambda r: r.dram_row_hit_rate)
+
+    # ------------------------------------------------------------------
+    def static_best(self, candidates: Iterable[str] | None = None) -> str:
+        """Best static policy by execution time among ``candidates``."""
+        times = self.exec_times()
+        if candidates is not None:
+            times = {name: times[name] for name in candidates if name in times}
+        return static_best(times)
+
+    def static_worst(self, candidates: Iterable[str] | None = None) -> str:
+        """Worst static policy by execution time among ``candidates``."""
+        times = self.exec_times()
+        if candidates is not None:
+            times = {name: times[name] for name in candidates if name in times}
+        return static_worst(times)

@@ -1,0 +1,88 @@
+"""Shared counter store for all timing components.
+
+The collector is a thin wrapper around a ``defaultdict(int)`` with a few
+conveniences: namespaced counter names (``"l1.hits"``, ``"dram.row_hits"``),
+histogram support for latency distributions, and snapshot/diff helpers used
+by per-kernel accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+__all__ = ["StatsCollector"]
+
+
+class StatsCollector:
+    """Accumulates named integer counters and simple histograms."""
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+        self._histograms: defaultdict[str, defaultdict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    # -- counters ---------------------------------------------------------
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (may be negative)."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Read a counter, returning ``default`` if it was never touched."""
+        return self._counters.get(name, default)
+
+    def counters(self) -> dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def matching(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def sum(self, names: Iterable[str]) -> int:
+        """Sum of several counters."""
+        return sum(self.get(name) for name in names)
+
+    # -- histograms -------------------------------------------------------
+    def observe(self, name: str, value: int) -> None:
+        """Add one observation to histogram ``name``."""
+        self._histograms[name][value] += 1
+
+    def histogram(self, name: str) -> dict[int, int]:
+        """A copy of histogram ``name`` (value -> count)."""
+        return dict(self._histograms.get(name, {}))
+
+    def histogram_mean(self, name: str) -> float:
+        """Mean of the observations in histogram ``name`` (0.0 if empty)."""
+        hist = self._histograms.get(name)
+        if not hist:
+            return 0.0
+        total = sum(v * c for v, c in hist.items())
+        count = sum(hist.values())
+        return total / count
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the counters (used for per-kernel deltas)."""
+        return dict(self._counters)
+
+    def delta_since(self, snapshot: Mapping[str, int]) -> dict[str, int]:
+        """Difference between the current counters and ``snapshot``."""
+        keys = set(self._counters) | set(snapshot)
+        return {k: self._counters.get(k, 0) - snapshot.get(k, 0) for k in keys}
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold another collector's counters and histograms into this one."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, hist in other._histograms.items():
+            for value, count in hist.items():
+                self._histograms[name][value] += count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsCollector({len(self._counters)} counters)"

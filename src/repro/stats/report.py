@@ -1,0 +1,175 @@
+"""Per-run report: the derived metrics the paper's figures plot.
+
+A :class:`RunReport` is produced by one simulation run (one workload under
+one policy) and exposes exactly the quantities used in Figures 4-13:
+
+* execution time (cycles and seconds),
+* compute bandwidth in GVOPS (Figure 4),
+* memory request bandwidth in GMR/s (Figure 5),
+* DRAM accesses (Figures 7 and 11),
+* cache stalls per GPU memory request (Figures 8 and 12),
+* DRAM row-buffer hit ratio (Figures 9 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.config import SystemConfig
+from repro.stats.counters import StatsCollector
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Summary of one simulation run."""
+
+    workload: str
+    policy: str
+    cycles: int
+    counters: dict[str, int] = field(default_factory=dict)
+    clock_ghz: float = 1.6
+    wavefront_size: int = 64
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stats(
+        cls,
+        workload: str,
+        policy: str,
+        cycles: int,
+        stats: StatsCollector,
+        config: SystemConfig,
+    ) -> "RunReport":
+        """Build a report from the shared counter store after a run."""
+        return cls(
+            workload=workload,
+            policy=policy,
+            cycles=cycles,
+            counters=stats.counters(),
+            clock_ghz=config.gpu.clock_ghz,
+            wavefront_size=config.gpu.wavefront_size,
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock execution time implied by the GPU clock."""
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    # -- traffic -----------------------------------------------------------
+    @property
+    def gpu_mem_requests(self) -> int:
+        """Line requests issued by the CUs to the memory system."""
+        return self.get("gpu.mem_requests")
+
+    @property
+    def dram_accesses(self) -> int:
+        """Accesses that reached the DRAM controllers (Figure 7 metric)."""
+        return self.get("dram.accesses")
+
+    @property
+    def dram_reads(self) -> int:
+        return self.get("dram.reads")
+
+    @property
+    def dram_writes(self) -> int:
+        return self.get("dram.writes")
+
+    # -- row locality ------------------------------------------------------
+    @property
+    def dram_row_hits(self) -> int:
+        return self.get("dram.row_hits")
+
+    @property
+    def dram_row_hit_rate(self) -> float:
+        """Fraction of DRAM accesses that hit an open row (Figure 9 metric)."""
+        total = self.dram_accesses
+        return self.dram_row_hits / total if total else 0.0
+
+    # -- stalls ------------------------------------------------------------
+    @property
+    def cache_stall_cycles(self) -> int:
+        """Combined L1 + L2 stall cycles (Figure 8 metric numerator)."""
+        return self.get("l1.stall_cycles") + self.get("l2.stall_cycles")
+
+    @property
+    def cache_stalls_per_request(self) -> float:
+        """Cache stall cycles per GPU memory request (Figure 8 metric)."""
+        requests = self.gpu_mem_requests
+        return self.cache_stall_cycles / requests if requests else 0.0
+
+    # -- cache behaviour ---------------------------------------------------
+    @property
+    def l1_hits(self) -> int:
+        return self.get("l1.hits")
+
+    @property
+    def l1_hit_rate(self) -> float:
+        accesses = self.get("l1.accesses")
+        return self.l1_hits / accesses if accesses else 0.0
+
+    @property
+    def l2_hits(self) -> int:
+        return self.get("l2.hits")
+
+    @property
+    def l2_hit_rate(self) -> float:
+        accesses = self.get("l2.accesses")
+        return self.l2_hits / accesses if accesses else 0.0
+
+    # -- bandwidths --------------------------------------------------------
+    @property
+    def lane_ops(self) -> int:
+        """Total per-lane vector operations executed."""
+        return self.get("gpu.vector_ops") * self.wavefront_size
+
+    @property
+    def gvops(self) -> float:
+        """Giga vector (lane) operations per second (Figure 4 metric)."""
+        seconds = self.seconds
+        return self.lane_ops / seconds / 1e9 if seconds else 0.0
+
+    @property
+    def gmrs(self) -> float:
+        """Giga GPU memory requests per second (Figure 5 metric)."""
+        seconds = self.seconds
+        return self.gpu_mem_requests / seconds / 1e9 if seconds else 0.0
+
+    # -- misc ----------------------------------------------------------------
+    @property
+    def kernels(self) -> int:
+        return self.get("gpu.kernels_completed")
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary used by the CLI, benchmarks and EXPERIMENTS.md."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "gvops": self.gvops,
+            "gmrs": self.gmrs,
+            "gpu_mem_requests": self.gpu_mem_requests,
+            "dram_accesses": self.dram_accesses,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_row_hit_rate": self.dram_row_hit_rate,
+            "cache_stall_cycles": self.cache_stall_cycles,
+            "cache_stalls_per_request": self.cache_stalls_per_request,
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "kernels": self.kernels,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunReport({self.workload}/{self.policy}: cycles={self.cycles}, "
+            f"dram={self.dram_accesses}, stalls/req={self.cache_stalls_per_request:.2f}, "
+            f"row_hit={self.dram_row_hit_rate:.2f})"
+        )

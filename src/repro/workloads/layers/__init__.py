@@ -1,0 +1,11 @@
+"""Layer-level trace builders.
+
+Each module implements the kernels of one neural-network layer family as
+functions that build :class:`~repro.workloads.trace.KernelTrace` objects.
+The seventeen Table 2 workloads in :mod:`repro.workloads.registry` are thin
+compositions of these builders.
+"""
+
+from repro.workloads.layers.common import ProgramBuilder, PcAllocator
+
+__all__ = ["ProgramBuilder", "PcAllocator"]

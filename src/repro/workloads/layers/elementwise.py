@@ -1,0 +1,66 @@
+"""Elementwise (activation-style) layer kernels.
+
+Activation layers (ReLU and friends) apply a cheap function independently
+to every element: they stream their inputs exactly once, write every output
+exactly once, and therefore have *no* reuse for caches to exploit, a very
+high memory-request rate, and very low compute intensity.  The paper's
+throughput-sensitive workloads (FwAct, BwAct, FwLRN) are built from this
+pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.layers.common import PcAllocator, ProgramBuilder, chunks
+from repro.workloads.tensor import Tensor
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["elementwise_kernel"]
+
+
+def elementwise_kernel(
+    name: str,
+    inputs: Sequence[Tensor],
+    outputs: Sequence[Tensor],
+    num_elements: int,
+    elements_per_wavefront: int,
+    wavefront_size: int = 64,
+    ops_per_chunk: int = 2,
+    pc_base: int = 0x1000,
+) -> KernelTrace:
+    """Build a streaming elementwise kernel.
+
+    Every wavefront owns a contiguous block of ``elements_per_wavefront``
+    elements.  For each wavefront-sized chunk of its block it loads the
+    chunk from every input tensor, performs ``ops_per_chunk`` vector
+    operations, and stores the chunk to every output tensor.
+
+    Args:
+        name: kernel name.
+        inputs: tensors read once per element (e.g. ``x`` for forward
+            activation; ``x`` and ``dy`` for backward activation).
+        outputs: tensors written once per element.
+        num_elements: total elements processed by the kernel.
+        elements_per_wavefront: contiguous elements assigned to one wavefront.
+        wavefront_size: lanes per wavefront.
+        ops_per_chunk: wavefront-wide vector operations per chunk (activation
+            functions are one or two operations).
+        pc_base: base program counter for this kernel's access sites.
+    """
+    if num_elements <= 0 or elements_per_wavefront <= 0:
+        raise ValueError("num_elements and elements_per_wavefront must be positive")
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    for workgroup, (start, count) in enumerate(chunks(num_elements, elements_per_wavefront)):
+        builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+        for offset, lanes in chunks(count, wavefront_size):
+            element = start + offset
+            for index, tensor in enumerate(inputs):
+                builder.load(f"load_in{index}", tensor, element, lanes)
+            if ops_per_chunk > 0:
+                builder.compute(ops_per_chunk)
+            for index, tensor in enumerate(outputs):
+                builder.store(f"store_out{index}", tensor, element, lanes)
+        kernel.add_wavefront(builder.build())
+    return kernel

@@ -1,0 +1,137 @@
+"""Pooling layer kernels.
+
+Forward pooling reads a window of input elements per output element.  Each
+wavefront produces a *strip* of consecutive output rows (real pooling
+kernels assign several outputs per work item): with a 3x3 window and
+stride 2, the bottom window row of one output row is the top window row of
+the next, so about a third of the strip's input loads re-touch lines the
+same wavefront loaded moments earlier -- reuse a cache can capture but a
+pure bypass path cannot.  The remaining loads are streamed once.  This is
+the "limited benefit" behaviour the paper describes for FwPool, together
+with its high cache-stall and row-locality sensitivity.
+
+Backward (max) pooling reads the small output-gradient tensor plus the
+argmax mask and scatters gradients across the pooling windows of the large
+input-gradient tensor.  Window overlap within a strip means many stores
+target lines that were stored to moments earlier: this is the
+write-coalescing opportunity that makes BwPool one of the biggest CacheRW
+winners in the paper, and store traffic dominates load traffic ("unequal
+load and store counts").
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers.common import PcAllocator, ProgramBuilder, chunks
+from repro.workloads.tensor import Tensor
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["pool_forward_kernel", "pool_backward_kernel"]
+
+
+def pool_forward_kernel(
+    name: str,
+    x: Tensor,
+    y: Tensor,
+    in_width: int,
+    in_height: int,
+    window: int = 3,
+    stride: int = 2,
+    rows_per_wavefront: int = 4,
+    wavefront_size: int = 64,
+    ops_per_output_chunk: int = 3,
+    pc_base: int = 0x5000,
+) -> KernelTrace:
+    """Forward max pooling over a 2D plane.
+
+    Each wavefront produces ``rows_per_wavefront`` consecutive output rows
+    for a band of ``wavefront_size`` output columns: for every output row it
+    loads the ``window`` corresponding input-row segments (strided by
+    ``stride`` within a row), reduces them, and stores the outputs.
+    """
+    if in_width <= window or in_height <= window:
+        raise ValueError("input plane must be larger than the pooling window")
+    if stride <= 0 or rows_per_wavefront <= 0:
+        raise ValueError("stride and rows_per_wavefront must be positive")
+    out_width = (in_width - window) // stride + 1
+    out_height = (in_height - window) // stride + 1
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    workgroup = 0
+    for strip_start in range(0, out_height, rows_per_wavefront):
+        strip_rows = min(rows_per_wavefront, out_height - strip_start)
+        for out_col_start, lanes in chunks(out_width, wavefront_size):
+            builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+            in_col_base = out_col_start * stride
+            for row_offset in range(strip_rows):
+                out_row = strip_start + row_offset
+                in_row_base = out_row * stride
+                for w_row in range(window):
+                    in_row = in_row_base + w_row
+                    builder.load(
+                        f"load_x_row{w_row}",
+                        x,
+                        in_row * in_width + in_col_base,
+                        lanes,
+                        stride=stride,
+                    )
+                builder.compute(ops_per_output_chunk)
+                builder.store("store_y", y, out_row * out_width + out_col_start, lanes)
+            kernel.add_wavefront(builder.build())
+            workgroup += 1
+    return kernel
+
+
+def pool_backward_kernel(
+    name: str,
+    dy: Tensor,
+    mask: Tensor,
+    dx: Tensor,
+    in_width: int,
+    in_height: int,
+    window: int = 3,
+    stride: int = 2,
+    rows_per_wavefront: int = 4,
+    wavefront_size: int = 64,
+    ops_per_output_chunk: int = 2,
+    pc_base: int = 0x6000,
+) -> KernelTrace:
+    """Backward max pooling.
+
+    Each wavefront handles a strip of ``rows_per_wavefront`` output rows for
+    a band of ``wavefront_size`` output columns: it loads the gradients and
+    argmax mask for each row, then scatters gradients across every row of
+    the corresponding pooling windows.  Vertically adjacent output rows
+    share an input row (window 3, stride 2), so roughly a third of the
+    stores re-touch recently written lines.
+    """
+    if in_width <= window or in_height <= window:
+        raise ValueError("input plane must be larger than the pooling window")
+    if stride <= 0 or rows_per_wavefront <= 0:
+        raise ValueError("stride and rows_per_wavefront must be positive")
+    out_width = (in_width - window) // stride + 1
+    out_height = (in_height - window) // stride + 1
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    workgroup = 0
+    for strip_start in range(0, out_height, rows_per_wavefront):
+        strip_rows = min(rows_per_wavefront, out_height - strip_start)
+        for out_col_start, lanes in chunks(out_width, wavefront_size):
+            builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+            for row_offset in range(strip_rows):
+                out_row = strip_start + row_offset
+                out_index = out_row * out_width + out_col_start
+                builder.load("load_dy", dy, out_index, lanes)
+                builder.load("load_mask", mask, out_index, lanes)
+                builder.compute(ops_per_output_chunk)
+                for w_row in range(window):
+                    in_row = out_row * stride + w_row
+                    builder.store(
+                        f"store_dx_row{w_row}",
+                        dx,
+                        in_row * in_width + out_col_start * stride,
+                        lanes,
+                        stride=stride,
+                    )
+            kernel.add_wavefront(builder.build())
+            workgroup += 1
+    return kernel

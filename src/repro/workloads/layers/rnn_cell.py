@@ -1,0 +1,158 @@
+"""Recurrent cell (LSTM / GRU) kernels.
+
+A DeepBench-style RNN inference step with batch size 1 launches a small
+number of kernels per timestep: a gate GEMV that multiplies the recurrent
+and input weight matrices by the concatenated ``[x_t, h_{t-1}]`` vector, and
+one or more pointwise kernels that apply the gate nonlinearities and update
+the cell/hidden state.  Training (forward+backward) adds, per timestep,
+kernels that re-read the saved gate activations, propagate gradients and
+accumulate weight gradients into a fixed-size buffer.
+
+The caching-relevant structure:
+
+* the weight matrices are read start-to-finish once per timestep and the
+  GPU caches self-invalidate at every kernel boundary, so weights provide
+  no cache-exploitable reuse -- the per-timestep traffic is streaming;
+* the hidden/input vector and the gate vectors are tiny and are re-read
+  several times inside one kernel (and by several wavefronts), which gives
+  a modest reuse-sensitive component;
+* the backward pass accumulates ``dW`` into the same small buffer from every
+  wavefront of the kernel, giving CacheRW a write-coalescing opportunity.
+
+This mirrors the paper's observation that the RNN workloads are reuse
+sensitive, but only moderately so.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers.common import PcAllocator, ProgramBuilder, chunks
+from repro.workloads.tensor import Tensor
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["rnn_gate_kernel", "rnn_pointwise_kernel", "rnn_backward_kernel"]
+
+
+def rnn_gate_kernel(
+    name: str,
+    weights: Tensor,
+    state: Tensor,
+    gates: Tensor,
+    hidden: int,
+    num_gates: int,
+    wavefront_size: int = 64,
+    macs_per_cycle_per_lane: float = 2.0,
+    pc_base: int = 0xB000,
+) -> KernelTrace:
+    """Gate GEMV for one timestep: ``gates = W x [x_t, h_{t-1}]``.
+
+    Each wavefront computes ``wavefront_size`` gate outputs: it streams the
+    corresponding weight rows (no reuse) and re-reads the shared state
+    vector (small, reused by every wavefront of the kernel).
+    """
+    if hidden <= 0 or num_gates <= 0:
+        raise ValueError("hidden and num_gates must be positive")
+    state_len = 2 * hidden  # concatenated [x_t, h_{t-1}]
+    gate_outputs = num_gates * hidden
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    for workgroup, (row_start, rows) in enumerate(chunks(gate_outputs, wavefront_size)):
+        builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+        # shared state vector: every wavefront reads it in full
+        builder.load("load_state", state, 0, state_len)
+        # weight rows for this wavefront's outputs: streamed once
+        builder.load("load_weights", weights, row_start * state_len, rows * state_len)
+        macs = rows * state_len
+        builder.compute(max(1, int(round(macs / (wavefront_size * macs_per_cycle_per_lane)))))
+        builder.store("store_gates", gates, row_start, rows)
+        kernel.add_wavefront(builder.build())
+    return kernel
+
+
+def rnn_pointwise_kernel(
+    name: str,
+    gates: Tensor,
+    cell_state: Tensor,
+    hidden_state: Tensor,
+    hidden: int,
+    num_gates: int,
+    gate_passes: int = 3,
+    wavefront_size: int = 64,
+    ops_per_chunk: int = 4,
+    pc_base: int = 0xC000,
+) -> KernelTrace:
+    """Pointwise gate nonlinearities and state update for one timestep.
+
+    The gate vector is re-read ``gate_passes`` times (sigmoid/tanh per gate
+    family plus the state update), the previous cell state is read once and
+    both states are written -- a small kernel whose loads have short-distance
+    intra-kernel reuse.
+    """
+    if hidden <= 0 or num_gates <= 0 or gate_passes <= 0:
+        raise ValueError("hidden, num_gates and gate_passes must be positive")
+    gate_elements = num_gates * hidden
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    for workgroup, (start, count) in enumerate(chunks(hidden, wavefront_size)):
+        builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+        for gate_pass in range(gate_passes):
+            for gate in range(num_gates):
+                builder.load(
+                    f"load_gate{gate}_pass{gate_pass}",
+                    gates,
+                    (gate * hidden + start) % gate_elements,
+                    count,
+                )
+            builder.compute(ops_per_chunk)
+        builder.load("load_cell_prev", cell_state, start, count)
+        builder.compute(ops_per_chunk)
+        builder.store("store_cell", cell_state, start, count)
+        builder.store("store_hidden", hidden_state, start, count)
+        kernel.add_wavefront(builder.build())
+    return kernel
+
+
+def rnn_backward_kernel(
+    name: str,
+    weights: Tensor,
+    saved_gates: Tensor,
+    grad_state: Tensor,
+    grad_weights: Tensor,
+    hidden: int,
+    num_gates: int,
+    wavefront_size: int = 64,
+    macs_per_cycle_per_lane: float = 2.0,
+    pc_base: int = 0xD000,
+) -> KernelTrace:
+    """Backward step for one timestep of RNN training.
+
+    Re-reads the saved gate activations twice (gradient of the nonlinearity
+    and of the matrix product), streams the weight rows to back-propagate
+    into the state gradient, writes the state gradient, and accumulates
+    ``dW`` partials into a fixed small buffer from every wavefront -- the
+    store-coalescing opportunity of the training workloads.
+    """
+    if hidden <= 0 or num_gates <= 0:
+        raise ValueError("hidden and num_gates must be positive")
+    state_len = 2 * hidden
+    gate_outputs = num_gates * hidden
+    pcs = PcAllocator(base=pc_base)
+    kernel = KernelTrace(name=name)
+    for workgroup, (row_start, rows) in enumerate(chunks(gate_outputs, wavefront_size)):
+        builder = ProgramBuilder(pcs, wavefront_size=wavefront_size, workgroup_id=workgroup)
+        builder.load("load_saved_gates_a", saved_gates, row_start, rows)
+        builder.compute(2)
+        builder.load("load_saved_gates_b", saved_gates, row_start, rows)
+        builder.load("load_weights_bw", weights, row_start * state_len, rows * state_len)
+        macs = rows * state_len
+        builder.compute(max(1, int(round(macs / (wavefront_size * macs_per_cycle_per_lane)))))
+        builder.load("load_grad_state", grad_state, 0, state_len)
+        builder.store("store_grad_state", grad_state, 0, min(state_len, wavefront_size))
+        # dW accumulation: every wavefront updates the same small partial buffer
+        builder.store(
+            "store_grad_weights",
+            grad_weights,
+            (row_start * 4) % max(1, grad_weights.num_elements - wavefront_size),
+            wavefront_size,
+        )
+        kernel.add_wavefront(builder.build())
+    return kernel

@@ -1,0 +1,101 @@
+"""Registry of the seventeen studied MI workloads (paper Table 2).
+
+The registry maps the figure labels used throughout the paper (``FwAct``,
+``BwPool``, ``FwBwLSTM``, ...) to workload factories, and exposes helpers
+to build the whole suite at a chosen scale and to render the Table 2
+metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.deepbench import Dgemm, RnnForward, RnnForwardBackward, Sgemm
+from repro.workloads.dnnmark import (
+    BackwardActivation,
+    BackwardBatchNorm,
+    BackwardPooling,
+    BackwardSoftmax,
+    ComposedModel,
+    ForwardActivation,
+    ForwardBatchNorm,
+    ForwardFullyConnected,
+    ForwardLrn,
+    ForwardPooling,
+    ForwardSoftmax,
+)
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "WORKLOAD_FACTORIES",
+    "get_workload",
+    "standard_suite",
+    "workload_metadata_table",
+]
+
+#: factories keyed by the paper's figure labels
+WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
+    "DGEMM": lambda **kw: Dgemm(**kw),
+    "SGEMM": lambda **kw: Sgemm(**kw),
+    "CM": lambda **kw: ComposedModel(**kw),
+    "FwBN": lambda **kw: ForwardBatchNorm(**kw),
+    "FwPool": lambda **kw: ForwardPooling(**kw),
+    "FwSoft": lambda **kw: ForwardSoftmax(**kw),
+    "BwSoft": lambda **kw: BackwardSoftmax(**kw),
+    "BwPool": lambda **kw: BackwardPooling(**kw),
+    "FwGRU": lambda **kw: RnnForward(cell="gru", **kw),
+    "FwLSTM": lambda **kw: RnnForward(cell="lstm", **kw),
+    "FwBwGRU": lambda **kw: RnnForwardBackward(cell="gru", **kw),
+    "FwBwLSTM": lambda **kw: RnnForwardBackward(cell="lstm", **kw),
+    "BwBN": lambda **kw: BackwardBatchNorm(**kw),
+    "FwFc": lambda **kw: ForwardFullyConnected(**kw),
+    "FwAct": lambda **kw: ForwardActivation(**kw),
+    "FwLRN": lambda **kw: ForwardLrn(**kw),
+    "BwAct": lambda **kw: BackwardActivation(**kw),
+}
+
+#: workload names in the order the paper's figures list them
+#: (insensitive, then reuse sensitive, then throughput sensitive)
+WORKLOAD_NAMES: tuple[str, ...] = tuple(WORKLOAD_FACTORIES.keys())
+
+
+def get_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
+    """Instantiate one workload by its figure label (case-insensitive)."""
+    for known, factory in WORKLOAD_FACTORIES.items():
+        if known.lower() == name.lower():
+            return factory(scale=scale, **kwargs)
+    raise KeyError(
+        f"unknown workload {name!r}; known workloads: {', '.join(WORKLOAD_NAMES)}"
+    )
+
+
+def standard_suite(scale: float = 1.0, names: tuple[str, ...] | None = None) -> list[Workload]:
+    """Build the full 17-workload suite (or the subset given by ``names``)."""
+    selected = WORKLOAD_NAMES if names is None else names
+    return [get_workload(name, scale=scale) for name in selected]
+
+
+def workload_metadata_table(scale: float = 1.0) -> list[dict[str, object]]:
+    """Render Table 2: paper metadata alongside the scaled trace statistics."""
+    rows: list[dict[str, object]] = []
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name, scale=scale)
+        trace = workload.build_trace()
+        meta = workload.metadata
+        rows.append(
+            {
+                "name": meta.name,
+                "suite": meta.suite,
+                "paper_input": meta.paper_input,
+                "paper_unique_kernels": meta.unique_kernels,
+                "paper_total_kernels": meta.total_kernels,
+                "paper_footprint": meta.paper_footprint,
+                "paper_category": str(meta.paper_category),
+                "sim_kernels": trace.num_kernels,
+                "sim_unique_kernels": len(trace.unique_kernel_names),
+                "sim_line_requests": trace.line_requests,
+                "sim_footprint_bytes": trace.footprint_bytes(),
+            }
+        )
+    return rows

@@ -1,0 +1,214 @@
+"""Kernel trace representation.
+
+Workload generators produce :class:`WorkloadTrace` objects: an ordered list
+of kernels, each kernel an ordered list of per-wavefront instruction
+streams.  Two instruction kinds exist:
+
+* :class:`ComputeInstr` -- a batch of wavefront-wide vector operations; it
+  occupies the CU's SIMD resources and contributes to the GVOPS metric.
+* :class:`MemInstr` -- one memory instruction, already coalesced into the
+  cache-line addresses it touches (the per-wavefront coalescer runs at
+  trace-generation time, see :mod:`repro.gpu.coalescer`).
+
+Traces are deliberately plain data so they can be generated, inspected,
+serialized and property-tested independently of the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.memory.request import AccessType
+
+__all__ = [
+    "ComputeInstr",
+    "MemInstr",
+    "Instruction",
+    "WavefrontProgram",
+    "KernelTrace",
+    "WorkloadTrace",
+]
+
+
+@dataclass(frozen=True)
+class ComputeInstr:
+    """A batch of wavefront-wide vector operations.
+
+    Attributes:
+        vector_ops: number of wavefront-wide operations (each operates on
+            ``wavefront_size`` lanes).
+    """
+
+    vector_ops: int
+
+    def __post_init__(self) -> None:
+        if self.vector_ops <= 0:
+            raise ValueError("vector_ops must be positive")
+
+
+@dataclass(frozen=True)
+class MemInstr:
+    """One coalesced memory instruction.
+
+    Attributes:
+        access: load or store.
+        line_addresses: the distinct cache-line addresses the wavefront's
+            lanes touch (1 for a fully coalesced unit-stride access of a
+            64 B line, up to ``wavefront_size`` for fully divergent access).
+        pc: program counter of the static instruction; drives the PC-based
+            reuse predictor.
+    """
+
+    access: AccessType
+    line_addresses: tuple[int, ...]
+    pc: int
+
+    def __post_init__(self) -> None:
+        if not self.line_addresses:
+            raise ValueError("a memory instruction must touch at least one line")
+        if self.pc < 0:
+            raise ValueError("pc must be non-negative")
+
+    @property
+    def is_load(self) -> bool:
+        return self.access is AccessType.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.access is AccessType.STORE
+
+
+Instruction = Union[ComputeInstr, MemInstr]
+
+
+@dataclass
+class WavefrontProgram:
+    """The instruction stream of one wavefront."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    workgroup_id: int = 0
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def memory_instructions(self) -> list[MemInstr]:
+        return [i for i in self.instructions if isinstance(i, MemInstr)]
+
+    @property
+    def line_requests(self) -> int:
+        """Total line-level requests this wavefront will issue."""
+        return sum(len(i.line_addresses) for i in self.memory_instructions)
+
+    @property
+    def vector_ops(self) -> int:
+        return sum(i.vector_ops for i in self.instructions if isinstance(i, ComputeInstr))
+
+
+@dataclass
+class KernelTrace:
+    """One GPU kernel: a name plus one program per wavefront."""
+
+    name: str
+    wavefronts: list[WavefrontProgram] = field(default_factory=list)
+
+    def add_wavefront(self, program: WavefrontProgram) -> None:
+        self.wavefronts.append(program)
+
+    @property
+    def num_wavefronts(self) -> int:
+        return len(self.wavefronts)
+
+    @property
+    def line_requests(self) -> int:
+        return sum(w.line_requests for w in self.wavefronts)
+
+    @property
+    def vector_ops(self) -> int:
+        return sum(w.vector_ops for w in self.wavefronts)
+
+    @property
+    def load_lines(self) -> int:
+        return sum(
+            len(i.line_addresses)
+            for w in self.wavefronts
+            for i in w.memory_instructions
+            if i.is_load
+        )
+
+    @property
+    def store_lines(self) -> int:
+        return sum(
+            len(i.line_addresses)
+            for w in self.wavefronts
+            for i in w.memory_instructions
+            if i.is_store
+        )
+
+    def touched_lines(self) -> set[int]:
+        """Distinct line addresses touched by the kernel."""
+        lines: set[int] = set()
+        for wavefront in self.wavefronts:
+            for instr in wavefront.memory_instructions:
+                lines.update(instr.line_addresses)
+        return lines
+
+
+@dataclass
+class WorkloadTrace:
+    """A full workload: an ordered sequence of kernels."""
+
+    name: str
+    kernels: list[KernelTrace] = field(default_factory=list)
+
+    def add_kernel(self, kernel: KernelTrace) -> None:
+        self.kernels.append(kernel)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def unique_kernel_names(self) -> list[str]:
+        seen: list[str] = []
+        for kernel in self.kernels:
+            if kernel.name not in seen:
+                seen.append(kernel.name)
+        return seen
+
+    @property
+    def line_requests(self) -> int:
+        return sum(k.line_requests for k in self.kernels)
+
+    @property
+    def vector_ops(self) -> int:
+        return sum(k.vector_ops for k in self.kernels)
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Distinct bytes touched across the whole workload."""
+        lines: set[int] = set()
+        for kernel in self.kernels:
+            lines.update(kernel.touched_lines())
+        return len(lines) * line_bytes
+
+    def summary(self) -> dict[str, object]:
+        """Compact description used by Table 2 style reports."""
+        return {
+            "name": self.name,
+            "kernels": self.num_kernels,
+            "unique_kernels": len(self.unique_kernel_names),
+            "wavefronts": sum(k.num_wavefronts for k in self.kernels),
+            "line_requests": self.line_requests,
+            "vector_ops": self.vector_ops,
+            "footprint_bytes": self.footprint_bytes(),
+        }

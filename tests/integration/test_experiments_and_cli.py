@@ -1,0 +1,188 @@
+"""Integration tests for the experiment drivers, renderers and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.policies import STATIC_POLICIES, UNCACHED
+from repro.experiments import (
+    ExperimentRunner,
+    figure4_gvops,
+    figure5_gmrs,
+    figure6_execution_time,
+    figure7_dram_accesses,
+    figure8_cache_stalls,
+    figure9_row_hit_rate,
+    figure10_execution_time,
+    figure11_dram_accesses,
+    figure12_cache_stalls,
+    figure13_row_hit_rate,
+    optimization_sweep,
+    render_series_table,
+    static_policy_sweep,
+    table1_system_configuration,
+    table2_workloads,
+)
+from repro.experiments.optimizations import STATIC_BEST, STATIC_WORST
+from repro.experiments.render import render_kv_table
+from repro.experiments.static_policies import measured_categories
+from repro import cli
+
+#: a small but behaviourally diverse subset keeps integration tests fast
+SUBSET = ("FwSoft", "FwAct", "SGEMM")
+TINY = scaled_config(2)
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=0.15, config=TINY, workload_names=SUBSET)
+
+
+@pytest.fixture(scope="module")
+def static_sweep(runner):
+    return static_policy_sweep(runner)
+
+
+@pytest.fixture(scope="module")
+def full_sweep(runner):
+    return optimization_sweep(runner)
+
+
+class TestRunner:
+    def test_sweep_covers_grid(self, static_sweep):
+        assert set(static_sweep.workloads()) == set(SUBSET)
+        assert set(static_sweep.policies()) == {p.name for p in STATIC_POLICIES}
+
+    def test_runs_are_memoized(self, runner, static_sweep):
+        before = runner.cached_runs()
+        runner.sweep(policies=STATIC_POLICIES)
+        assert runner.cached_runs() == before
+
+    def test_comparison_for_unknown_workload_raises(self, static_sweep):
+        with pytest.raises(KeyError):
+            static_sweep.comparison("NotAWorkload")
+
+
+class TestStaticFigures:
+    def test_figure6_normalizes_to_uncached(self, static_sweep):
+        data = figure6_execution_time(sweep=static_sweep)
+        for workload, series in data.items():
+            assert series[UNCACHED.name] == pytest.approx(1.0)
+            assert set(series) == {p.name for p in STATIC_POLICIES}
+
+    def test_figure7_values_are_fractions_of_uncached(self, static_sweep):
+        data = figure7_dram_accesses(sweep=static_sweep)
+        for series in data.values():
+            assert series[UNCACHED.name] == pytest.approx(1.0)
+            assert all(value >= 0 for value in series.values())
+
+    def test_figure8_uncached_has_fewest_stalls(self, static_sweep):
+        data = figure8_cache_stalls(sweep=static_sweep)
+        for series in data.values():
+            assert series[UNCACHED.name] <= min(series.values()) + 1e-9
+
+    def test_figure9_rates_are_probabilities(self, static_sweep):
+        data = figure9_row_hit_rate(sweep=static_sweep)
+        for series in data.values():
+            assert all(0.0 <= value <= 1.0 for value in series.values())
+
+    def test_measured_categories_cover_subset(self, static_sweep):
+        categories = measured_categories(static_sweep)
+        assert set(categories) == set(SUBSET)
+
+    def test_characterization_figures(self, runner):
+        gvops = figure4_gvops(runner)
+        gmrs = figure5_gmrs(runner)
+        assert set(gvops) == set(SUBSET)
+        assert all(row["GVOPS"] >= 0 for row in gvops.values())
+        assert all(row["GMR/s"] > 0 for row in gmrs.values())
+
+
+class TestOptimizationFigures:
+    def test_figure10_series_and_baseline(self, full_sweep):
+        data = figure10_execution_time(sweep=full_sweep)
+        for series in data.values():
+            assert series[STATIC_BEST] == pytest.approx(1.0)
+            assert series[STATIC_WORST] >= series[STATIC_BEST] - 1e-9
+            assert "CacheRW-PCby" in series
+
+    def test_figure11_normalized_to_uncached(self, full_sweep):
+        data = figure11_dram_accesses(sweep=full_sweep)
+        for series in data.values():
+            assert all(value >= 0 for value in series.values())
+
+    def test_figure12_and_13_shapes(self, full_sweep):
+        stalls = figure12_cache_stalls(sweep=full_sweep)
+        rows = figure13_row_hit_rate(sweep=full_sweep)
+        assert set(stalls) == set(SUBSET) and set(rows) == set(SUBSET)
+        for series in rows.values():
+            assert all(0.0 <= value <= 1.0 for value in series.values())
+
+
+class TestTablesAndRendering:
+    def test_table1_contains_both_configurations(self):
+        tables = table1_system_configuration()
+        assert "simulated" in tables and "paper" in tables
+        assert tables["paper"]["# of CUs"] == "64"
+
+    def test_table2_lists_all_workloads(self):
+        rows = table2_workloads(scale=0.1)
+        assert len(rows) == 17
+
+    def test_render_series_table_contains_all_cells(self):
+        data = {"FwAct": {"A": 1.0, "B": 2.0}, "SGEMM": {"A": 0.5, "B": 0.25}}
+        text = render_series_table("Title", data)
+        assert "Title" in text and "FwAct" in text and "0.250" in text
+
+    def test_render_handles_missing_series(self):
+        text = render_series_table("T", {"W": {"A": 1.0}}, series=["A", "B"])
+        assert "-" in text
+
+    def test_render_kv_table(self):
+        text = render_kv_table("Config", {"# of CUs": 8})
+        assert "# of CUs" in text and "8" in text
+
+    def test_render_empty_data(self):
+        assert "(no data)" in render_series_table("T", {})
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "FwAct" in output and "CacheRW-PCby" in output
+
+    def test_run_command_json(self, capsys):
+        code = cli.main(["--scale", "0.1", "--cus", "2", "run", "--workload", "FwSoft",
+                         "--policy", "CacheR", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "FwSoft"
+        assert data["policy"] == "CacheR"
+        assert data["cycles"] > 0
+
+    def test_sweep_command(self, capsys):
+        code = cli.main(["--scale", "0.1", "--cus", "2", "sweep", "--workload", "FwSoft",
+                         "--policies", "Uncached", "CacheR"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "FwSoft" in output and "CacheR" in output
+
+    def test_figure_command_with_subset(self, capsys):
+        code = cli.main(["--scale", "0.1", "--cus", "2", "figure", "6",
+                         "--workloads", "FwSoft"])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_table_commands(self, capsys):
+        assert cli.main(["table", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert cli.main(["--scale", "0.1", "table", "2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_workload_is_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "--workload", "Nope", "--policy", "CacheR"])

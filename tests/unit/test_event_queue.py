@@ -1,0 +1,116 @@
+"""Tests for the discrete-event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.event_queue import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(30, lambda: order.append("c"))
+        queue.schedule(10, lambda: order.append("a"))
+        queue.schedule(20, lambda: order.append("b"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.schedule(5, lambda label=label: order.append(label))
+        queue.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(42, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [42]
+        assert queue.now == 42
+
+    def test_schedule_at_absolute_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(100, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [100]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(5, lambda: None)
+
+    def test_fractional_delay_rounds_to_cycles(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.4, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [1]
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_events_scheduled_during_execution_run(self):
+        queue = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule(5, lambda: order.append("second"))
+
+        queue.schedule(1, first)
+        queue.run()
+        assert order == ["first", "second"]
+        assert queue.now == 6
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(10, lambda: fired.append("cancelled"))
+        queue.schedule(20, lambda: fired.append("kept"))
+        event.cancel()
+        queue.run()
+        assert fired == ["kept"]
+
+    def test_run_until_leaves_later_events_pending(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda: fired.append(5))
+        queue.schedule(50, lambda: fired.append(50))
+        queue.run(until=10)
+        assert fired == [5]
+        assert queue.pending == 1
+        queue.run()
+        assert fired == [5, 50]
+
+    def test_max_events_bounds_execution(self):
+        queue = EventQueue()
+
+        def reschedule():
+            queue.schedule(1, reschedule)
+
+        queue.schedule(1, reschedule)
+        queue.run(max_events=25)
+        assert queue.executed == 25
+
+    def test_executed_counts_only_real_events(self):
+        queue = EventQueue()
+        event = queue.schedule(1, lambda: None)
+        event.cancel()
+        queue.schedule(2, lambda: None)
+        queue.run()
+        assert queue.executed == 1

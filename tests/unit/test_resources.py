@@ -1,0 +1,91 @@
+"""Tests for the contention primitives (ThroughputResource, WaitQueue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.resources import ThroughputResource, WaitQueue
+
+
+class TestThroughputResource:
+    def test_back_to_back_grants_spaced_by_rate(self):
+        port = ThroughputResource("port", cycles_per_grant=1.0)
+        assert port.grant(10) == 10
+        assert port.grant(10) == 11
+        assert port.grant(10) == 12
+
+    def test_idle_resource_grants_immediately(self):
+        port = ThroughputResource("port", cycles_per_grant=1.0)
+        port.grant(0)
+        assert port.grant(100) == 100
+
+    def test_fractional_rate_allows_multiple_grants_per_cycle(self):
+        port = ThroughputResource("port", cycles_per_grant=0.25)
+        grants = [port.grant(0) for _ in range(4)]
+        assert grants == [0, 0, 0, 0]
+        assert port.grant(0) == 1
+
+    def test_wait_cycles_accumulate(self):
+        port = ThroughputResource("port", cycles_per_grant=2.0)
+        port.grant(0)
+        port.grant(0)  # waits 2 cycles
+        assert port.total_wait_cycles == 2
+        assert port.grants == 2
+
+    def test_grant_duration_occupies_resource(self):
+        simd = ThroughputResource("simd", cycles_per_grant=1.0)
+        end = simd.grant_duration(5, 10)
+        assert end == 15
+        assert simd.grant(0) == 15
+
+    def test_grant_duration_rejects_negative(self):
+        simd = ThroughputResource("simd")
+        with pytest.raises(ValueError):
+            simd.grant_duration(0, -1)
+
+    def test_peek_does_not_book(self):
+        port = ThroughputResource("port", cycles_per_grant=1.0)
+        assert port.peek(3) == 3
+        assert port.grant(3) == 3
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputResource("bad", cycles_per_grant=0)
+
+
+class TestWaitQueue:
+    def test_wake_one_is_fifo(self):
+        queue = WaitQueue("q")
+        order = []
+        queue.wait(0, lambda t: order.append("first"))
+        queue.wait(0, lambda t: order.append("second"))
+        queue.wake_one(5)
+        assert order == ["first"]
+        queue.wake_one(6)
+        assert order == ["first", "second"]
+
+    def test_wake_one_on_empty_returns_false(self):
+        assert WaitQueue("q").wake_one(0) is False
+
+    def test_wake_all_wakes_everything(self):
+        queue = WaitQueue("q")
+        woken = []
+        for i in range(5):
+            queue.wait(0, lambda t, i=i: woken.append(i))
+        assert queue.wake_all(9) == 5
+        assert woken == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_callbacks_receive_wake_time(self):
+        queue = WaitQueue("q")
+        times = []
+        queue.wait(0, times.append)
+        queue.wake_one(42)
+        assert times == [42]
+
+    def test_bool_and_counters(self):
+        queue = WaitQueue("q")
+        assert not queue
+        queue.wait(0, lambda t: None)
+        assert queue
+        assert queue.total_enqueued == 1

@@ -1,0 +1,178 @@
+"""Tests for the statistics collector, run reports and comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_config
+from repro.stats.comparison import PolicyComparison, normalize_to, static_best, static_worst
+from repro.stats.counters import StatsCollector
+from repro.stats.report import RunReport
+
+
+class TestStatsCollector:
+    def test_add_and_get(self):
+        stats = StatsCollector()
+        stats.add("l1.hits")
+        stats.add("l1.hits", 4)
+        assert stats.get("l1.hits") == 5
+        assert stats.get("missing") == 0
+
+    def test_set_overrides(self):
+        stats = StatsCollector()
+        stats.add("x", 10)
+        stats.set("x", 3)
+        assert stats.get("x") == 3
+
+    def test_matching_prefix(self):
+        stats = StatsCollector()
+        stats.add("l1.hits", 1)
+        stats.add("l1.misses", 2)
+        stats.add("l2.hits", 3)
+        assert stats.matching("l1.") == {"l1.hits": 1, "l1.misses": 2}
+
+    def test_sum(self):
+        stats = StatsCollector()
+        stats.add("a", 1)
+        stats.add("b", 2)
+        assert stats.sum(["a", "b", "c"]) == 3
+
+    def test_histograms(self):
+        stats = StatsCollector()
+        for value in (10, 10, 20):
+            stats.observe("latency", value)
+        assert stats.histogram("latency") == {10: 2, 20: 1}
+        assert stats.histogram_mean("latency") == pytest.approx(40 / 3)
+        assert stats.histogram_mean("missing") == 0.0
+
+    def test_snapshot_and_delta(self):
+        stats = StatsCollector()
+        stats.add("x", 5)
+        snap = stats.snapshot()
+        stats.add("x", 2)
+        stats.add("y", 1)
+        assert stats.delta_since(snap) == {"x": 2, "y": 1}
+
+    def test_merge(self):
+        a, b = StatsCollector(), StatsCollector()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.observe("h", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.histogram("h") == {5: 1}
+
+
+def _report(policy: str, cycles: int, **counters) -> RunReport:
+    base = {
+        "gpu.mem_requests": 1000,
+        "gpu.vector_ops": 2000,
+        "dram.accesses": 500,
+        "dram.reads": 300,
+        "dram.writes": 200,
+        "dram.row_hits": 400,
+        "l1.stall_cycles": 100,
+        "l2.stall_cycles": 50,
+        "l1.accesses": 1000,
+        "l1.hits": 600,
+        "l2.accesses": 400,
+        "l2.hits": 100,
+        "gpu.kernels_completed": 1,
+    }
+    base.update(counters)
+    return RunReport(workload="W", policy=policy, cycles=cycles, counters=base, clock_ghz=1.6)
+
+
+class TestRunReport:
+    def test_seconds_from_clock(self):
+        report = _report("Uncached", cycles=1_600_000)
+        assert report.seconds == pytest.approx(0.001)
+
+    def test_derived_metrics(self):
+        report = _report("CacheR", cycles=1000)
+        assert report.dram_row_hit_rate == pytest.approx(0.8)
+        assert report.cache_stall_cycles == 150
+        assert report.cache_stalls_per_request == pytest.approx(0.15)
+        assert report.l1_hit_rate == pytest.approx(0.6)
+        assert report.l2_hit_rate == pytest.approx(0.25)
+
+    def test_bandwidth_metrics_scale_with_time(self):
+        fast = _report("CacheR", cycles=1000)
+        slow = _report("CacheR", cycles=2000)
+        assert fast.gvops > slow.gvops
+        assert fast.gmrs > slow.gmrs
+
+    def test_lane_ops_multiplied_by_wavefront_size(self):
+        report = _report("CacheR", cycles=1000)
+        assert report.lane_ops == 2000 * 64
+
+    def test_zero_division_guards(self):
+        empty = RunReport(workload="W", policy="P", cycles=10, counters={})
+        assert empty.dram_row_hit_rate == 0.0
+        assert empty.cache_stalls_per_request == 0.0
+        assert empty.l1_hit_rate == 0.0
+
+    def test_as_dict_round_trip(self):
+        data = _report("CacheRW", cycles=123).as_dict()
+        assert data["workload"] == "W"
+        assert data["policy"] == "CacheRW"
+        assert data["cycles"] == 123
+
+    def test_from_stats_uses_config_clock(self):
+        stats = StatsCollector()
+        stats.add("gpu.mem_requests", 10)
+        report = RunReport.from_stats("W", "Uncached", 100, stats, default_config())
+        assert report.clock_ghz == default_config().gpu.clock_ghz
+        assert report.gpu_mem_requests == 10
+
+
+class TestComparison:
+    def test_normalize_to(self):
+        assert normalize_to({"a": 2.0, "b": 4.0}, "a") == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_to({"a": 1.0}, "b")
+
+    def test_normalize_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0, "b": 1.0}, "a")
+
+    def test_static_best_and_worst(self):
+        times = {"Uncached": 5.0, "CacheR": 3.0, "CacheRW": 9.0}
+        assert static_best(times) == "CacheR"
+        assert static_worst(times) == "CacheRW"
+
+    def _comparison(self) -> PolicyComparison:
+        comparison = PolicyComparison(workload="W")
+        comparison.add(_report("Uncached", cycles=1000, **{"dram.accesses": 1000}))
+        comparison.add(_report("CacheR", cycles=800, **{"dram.accesses": 600}))
+        comparison.add(_report("CacheRW", cycles=1100, **{"dram.accesses": 500}))
+        return comparison
+
+    def test_normalized_exec_time(self):
+        normalized = self._comparison().normalized_exec_time("Uncached")
+        assert normalized["Uncached"] == pytest.approx(1.0)
+        assert normalized["CacheR"] == pytest.approx(0.8)
+        assert normalized["CacheRW"] == pytest.approx(1.1)
+
+    def test_normalized_dram(self):
+        normalized = self._comparison().normalized_dram_accesses("Uncached")
+        assert normalized["CacheRW"] == pytest.approx(0.5)
+
+    def test_best_and_worst_selection(self):
+        comparison = self._comparison()
+        assert comparison.static_best() == "CacheR"
+        assert comparison.static_worst() == "CacheRW"
+        assert comparison.static_best(["Uncached", "CacheRW"]) == "Uncached"
+
+    def test_add_rejects_other_workload(self):
+        comparison = PolicyComparison(workload="W")
+        other = RunReport(workload="X", policy="Uncached", cycles=1, counters={})
+        with pytest.raises(ValueError):
+            comparison.add(other)
+
+    def test_row_hit_rates_and_stalls(self):
+        comparison = self._comparison()
+        assert set(comparison.row_hit_rates()) == {"Uncached", "CacheR", "CacheRW"}
+        assert all(v >= 0 for v in comparison.stalls_per_request().values())
