@@ -2,23 +2,31 @@
 
 The harness regenerates every table and figure of the paper's evaluation.
 All figure benchmarks share one session-scoped
-:class:`~repro.experiments.runner.ExperimentRunner`, which memoizes the
-individual (workload, policy) simulations: the first benchmark that needs a
-sweep pays for it, later ones reuse the cached reports and only measure the
-figure assembly.  Each benchmark prints the rendered figure, so the captured
-output (``bench_output.txt``) doubles as the reproduction record referenced
-from EXPERIMENTS.md.
+:class:`~repro.experiments.runner.ExperimentRunner` built on one shared
+:class:`~repro.experiments.jobs.SweepExecutor`: the runner's in-process
+memo dedupes (workload, policy) cells within the session, and the
+executor's persistent :class:`~repro.experiments.store.ResultStore` (under
+``benchmarks/.bench_store`` by default) carries finished reports across
+harness invocations, so a re-run of the suite measures figure assembly on
+a warm store instead of paying for every simulation again.  Each benchmark
+prints the rendered figure, so the captured output (``bench_output.txt``)
+doubles as the reproduction record referenced from EXPERIMENTS.md.
 
 Environment knobs:
 
-* ``REPRO_BENCH_SCALE`` -- workload scale factor (default 1.0).
-* ``REPRO_BENCH_CUS``   -- number of CUs (default 8, the scaled system of
-  DESIGN.md).
+* ``REPRO_BENCH_SCALE``     -- workload scale factor (default 1.0).
+* ``REPRO_BENCH_CUS``       -- number of CUs (default 8, the scaled system
+  of DESIGN.md).
+* ``REPRO_BENCH_JOBS``      -- worker processes for the sweeps (default 1;
+  values above 1 fan the grid out with a process pool).
+* ``REPRO_BENCH_CACHE_DIR`` -- result-store directory; set to the empty
+  string to disable persistence entirely.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -27,12 +35,26 @@ from repro.experiments import ExperimentRunner
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_CUS = int(os.environ.get("REPRO_BENCH_CUS", "8"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+#: default store lives next to the harness; "" disables persistence
+BENCH_CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE_DIR", str(Path(__file__).parent / ".bench_store")
+)
 
 
 @pytest.fixture(scope="session")
 def bench_runner() -> ExperimentRunner:
-    """The shared, memoizing experiment runner used by every figure bench."""
-    return ExperimentRunner(scale=BENCH_SCALE, config=scaled_config(BENCH_CUS))
+    """The shared, memoizing experiment runner used by every figure bench.
+
+    The runner wires its own executor: a process-pool backend when
+    ``REPRO_BENCH_JOBS`` > 1 and a persistent store at ``BENCH_CACHE_DIR``.
+    """
+    return ExperimentRunner(
+        scale=BENCH_SCALE,
+        config=scaled_config(BENCH_CUS),
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE_DIR or None,
+    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -3,12 +3,20 @@
 Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 ``python -m repro.cli``.  Subcommands:
 
-* ``list``     -- show the available workloads and policies.
-* ``run``      -- simulate one workload under one policy and print the report.
-* ``sweep``    -- simulate a workload under several policies and print a
+* ``list``      -- show the available workloads and policies.
+* ``run``       -- simulate one workload under one policy and print the report.
+* ``sweep``     -- simulate a workload under several policies and print a
   normalized comparison.
-* ``figure``   -- regenerate one of the paper's figures (4-13) as a text table.
-* ``table``    -- print Table 1 (system configuration) or Table 2 (workloads).
+* ``sweep-all`` -- materialize the full (workload x policy) grid once and
+  print every figure derived from it.
+* ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
+* ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
+
+The global ``--jobs N`` flag fans independent simulations out across ``N``
+worker processes, and ``--cache-dir`` points sweeps at a persistent result
+store so repeated invocations never re-simulate a finished grid cell
+(``sweep-all`` defaults to the conventional ``~/.cache/repro-gpu-cache``
+store; pass ``--no-cache`` to opt out).
 """
 
 from __future__ import annotations
@@ -37,8 +45,8 @@ from repro.experiments import (
     table2_workloads,
 )
 from repro.experiments.render import render_kv_table
+from repro.experiments.store import default_cache_dir
 from repro.session import simulate
-from repro.stats.comparison import PolicyComparison
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +65,35 @@ _FIGURES = {
 }
 
 
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    """Accept the executor flags after the subcommand as well.
+
+    ``SUPPRESS`` keeps an unset subcommand-level flag from clobbering the
+    value the global parser already recorded, so both
+    ``repro-gpu-cache --jobs 4 sweep-all`` and
+    ``repro-gpu-cache sweep-all --jobs 4`` work.
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="worker processes for sweeps (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="persistent result store directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="disable the persistent result store",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -65,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     parser.add_argument("--cus", type=int, default=None, help="number of compute units")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweeps (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory (default: none, except sweep-all)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result store even for sweep-all",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list workloads and policies")
@@ -82,12 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=[p.name for p in STATIC_POLICIES],
         help="policy names (default: the three static policies)",
     )
+    _add_executor_options(sweep)
+
+    sweep_all = subparsers.add_parser(
+        "sweep-all",
+        help="materialize the full workload x policy grid and print its figures",
+    )
+    sweep_all.add_argument(
+        "--workloads", nargs="+", default=None, help="subset of workloads (default: all 17)"
+    )
+    sweep_all.add_argument(
+        "--policies",
+        nargs="+",
+        default=[p.name for p in ALL_POLICIES],
+        help="policy names (default: all six policies)",
+    )
+    sweep_all.add_argument(
+        "--figures",
+        nargs="+",
+        default=sorted(_FIGURES, key=int),
+        choices=sorted(_FIGURES, key=int),
+        metavar="N",
+        help="figures to print after the sweep (default: 4-13)",
+    )
+    _add_executor_options(sweep_all)
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES, key=int))
     figure.add_argument(
         "--workloads", nargs="+", default=None, help="subset of workloads (default: all 17)"
     )
+    _add_executor_options(figure)
 
     table = subparsers.add_parser("table", help="print Table 1 or Table 2")
     table.add_argument("number", choices=["1", "2"])
@@ -99,6 +179,30 @@ def _system_config(args: argparse.Namespace):
     if args.cus is not None:
         return scaled_config(args.cus)
     return default_config()
+
+
+def _cache_dir(args: argparse.Namespace, default_to_conventional: bool = False) -> str | None:
+    """Resolve the store directory from --cache-dir / --no-cache."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    if default_to_conventional:
+        return str(default_cache_dir())
+    return None
+
+
+def _runner(
+    args: argparse.Namespace, workload_names: Sequence[str] | None = None
+) -> ExperimentRunner:
+    """Build the experiment runner the sweep-style commands share."""
+    return ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        workload_names=workload_names,
+        jobs=args.jobs,
+        cache_dir=_cache_dir(args),
+    )
 
 
 def _cmd_list() -> int:
@@ -129,12 +233,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload_name = args.workload
-    comparison = PolicyComparison(workload=workload_name)
-    config = _system_config(args)
-    for name in args.policies:
-        policy = policy_by_name(name)
-        workload = get_workload(workload_name, scale=args.scale)
-        comparison.add(simulate(workload, policy, config=config))
+    runner = _runner(args, workload_names=[workload_name])
+    sweep = runner.sweep(policies=[policy_by_name(name) for name in args.policies])
+    comparison = sweep.comparison(workload_name)
     data = {
         workload_name: comparison.normalized_exec_time(
             baseline=args.policies[0] if "Uncached" not in comparison.reports else "Uncached"
@@ -148,11 +249,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     title, builder, fmt = _FIGURES[args.number]
-    runner = ExperimentRunner(
-        scale=args.scale, config=_system_config(args), workload_names=args.workloads
-    )
+    runner = _runner(args, workload_names=args.workloads)
     data = builder(runner)
     print(render_series_table(title, data, value_format=fmt))
+    return 0
+
+
+def _cmd_sweep_all(args: argparse.Namespace) -> int:
+    """Materialize the full grid once, then print every requested figure.
+
+    The sweep submits the whole (workload x policy) grid to the executor in
+    one batch, so ``--jobs N`` runs up to N grid cells concurrently; with
+    the persistent store warm, a repeat invocation simulates nothing and
+    prints identical figures.  The cache-effectiveness summary goes to
+    stderr so stdout stays byte-identical between cold and warm runs.
+    """
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        workload_names=args.workloads,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    policies = [policy_by_name(name) for name in args.policies]
+    runner.sweep(policies=policies)
+    for number in args.figures:
+        title, builder, fmt = _FIGURES[number]
+        print(render_series_table(title, builder(runner), value_format=fmt))
+    stats = runner.stats()
+    print(
+        f"[sweep-all] grid={len(runner.workload_names)}x{len(policies)} "
+        f"jobs={args.jobs} store={cache_dir or 'disabled'} "
+        f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -181,16 +312,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "table":
-        return _cmd_table(args)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "sweep-all":
+            return _cmd_sweep_all(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "table":
+            return _cmd_table(args)
+    except OSError as exc:  # unusable --cache-dir target (file, unwritable, ...)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+from repro.fingerprint import fingerprint
+
 __all__ = [
     "CacheConfig",
     "DramConfig",
@@ -191,6 +193,16 @@ class SystemConfig:
     )
     dram: DramConfig = field(default_factory=DramConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every simulated-system parameter.
+
+        Two configurations with identical parameters produce the same
+        fingerprint in any process; changing any field (even a nested one,
+        e.g. an L2 MSHR count) changes it.  Used by the persistent result
+        store to key cached simulation results.
+        """
+        return fingerprint(self)
 
     def describe(self) -> dict[str, str]:
         """Render the configuration as the rows of the paper's Table 1."""

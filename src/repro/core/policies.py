@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.fingerprint import fingerprint
+
 __all__ = [
     "PolicySpec",
     "UNCACHED",
@@ -73,6 +75,16 @@ class PolicySpec:
     def caches_stores(self) -> bool:
         """True when stores are coalesced in the GPU L2."""
         return self.cache_stores_l2
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the policy, including its display name.
+
+        The name is part of the key on purpose: cached
+        :class:`~repro.stats.report.RunReport` blobs carry the policy name,
+        so a renamed-but-identical policy must not be served a report
+        labelled with the old name.
+        """
+        return fingerprint(self)
 
     @property
     def is_static(self) -> bool:

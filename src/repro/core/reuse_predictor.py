@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fingerprint import fingerprint
+
 __all__ = ["ReusePredictor", "PredictorConfig"]
 
 
@@ -63,6 +65,10 @@ class PredictorConfig:
             raise ValueError("counter_bits must be positive")
         if not (0 <= self.bypass_threshold <= self.max_value):
             raise ValueError("bypass_threshold must fit in the counter range")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the predictor geometry (for result keys)."""
+        return fingerprint(self)
 
     @property
     def max_value(self) -> int:

@@ -12,10 +12,23 @@ Each module corresponds to a block of the paper's evaluation:
 * :mod:`repro.experiments.optimizations` -- Figures 10-13: the same metrics
   for the best/worst static policies and the cumulative optimization stack
   (CacheRW-AB, CacheRW-CR, CacheRW-PCby).
-* :mod:`repro.experiments.runner` -- the shared sweep executor with result
-  caching, used by all of the above and by the benchmark harness.
+* :mod:`repro.experiments.jobs` -- the job-based sweep executor:
+  :class:`JobSpec` grid cells, serial and process-pool backends, and the
+  store-aware :class:`SweepExecutor`.
+* :mod:`repro.experiments.store` -- the persistent on-disk result store
+  keyed by job fingerprints.
+* :mod:`repro.experiments.runner` -- :class:`ExperimentRunner`, the
+  memoizing front-end used by all of the above and the benchmark harness.
 """
 
+from repro.experiments.jobs import (
+    JobSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepExecutor,
+    execute_job,
+)
+from repro.experiments.store import ResultStore, default_cache_dir
 from repro.experiments.runner import ExperimentRunner, SweepResult
 from repro.experiments.characterization import figure4_gvops, figure5_gmrs
 from repro.experiments.static_policies import (
@@ -38,6 +51,13 @@ from repro.experiments.render import render_series_table
 __all__ = [
     "ExperimentRunner",
     "SweepResult",
+    "JobSpec",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SweepExecutor",
+    "ResultStore",
+    "default_cache_dir",
+    "execute_job",
     "figure4_gvops",
     "figure5_gmrs",
     "figure6_execution_time",

@@ -1,0 +1,309 @@
+"""Job-based sweep execution: one job per (workload, policy) grid cell.
+
+The experiment drivers used to run every simulation inline and serially.
+This module splits the *what* from the *how*:
+
+* :class:`JobSpec` names one simulation -- workload, scale, policy, system
+  configuration -- and derives a stable content fingerprint from those
+  inputs, which doubles as the key in the persistent
+  :class:`~repro.experiments.store.ResultStore`.
+* Backends turn a batch of jobs into reports: :class:`SerialBackend` runs
+  them in-process (no overhead, deterministic ordering), while
+  :class:`ProcessPoolBackend` fans independent jobs out across worker
+  processes with :class:`concurrent.futures.ProcessPoolExecutor`.  Grid
+  cells share no state, so the parallel speedup is essentially linear
+  until the machine runs out of cores.
+* :class:`SweepExecutor` composes a backend with an optional store:
+  store hits are loaded, misses are simulated on the backend and written
+  back, and both counts are tracked so callers can assert cache
+  effectiveness.
+
+Every simulation is deterministic, so a report loaded from the store (or
+computed in a worker process) is bit-identical to one computed inline.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence
+
+from repro.config import SystemConfig, default_config
+from repro.core.policies import PolicySpec
+from repro.core.reuse_predictor import PredictorConfig
+from repro.experiments.store import ResultStore
+from repro.fingerprint import fingerprint
+from repro.session import simulate
+from repro.stats.report import RunReport
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "JobSpec",
+    "ExecutorStats",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SweepExecutor",
+    "execute_job",
+]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Complete, picklable description of one simulation run.
+
+    Attributes:
+        workload: registry name of the workload (paper figure label).
+        policy: the caching policy to simulate under.
+        scale: workload scale factor passed to the trace generator.
+        config: full system configuration.
+        predictor_config: optional reuse-predictor geometry override.
+        dbi_max_rows: optional dirty-block-index capacity bound.
+    """
+
+    workload: str
+    policy: PolicySpec
+    scale: float = 1.0
+    config: SystemConfig = field(default_factory=default_config)
+    predictor_config: Optional[PredictorConfig] = None
+    dbi_max_rows: Optional[int] = None
+
+    def fingerprint(self) -> str:
+        """Stable key over every input that can affect the result.
+
+        Same inputs always hash to the same key (across processes and
+        sessions); changing the workload, scale, policy, system
+        configuration or any optional override changes it.
+        """
+        return fingerprint(
+            {
+                "workload": self.workload,
+                "scale": self.scale,
+                "policy": self.policy,
+                "config": self.config,
+                "predictor_config": self.predictor_config,
+                "dbi_max_rows": self.dbi_max_rows,
+            },
+            kind="JobSpec",
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Human-readable inputs, stored next to cached blobs for auditing."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy.name,
+            "scale": self.scale,
+            "num_cus": self.config.gpu.num_cus,
+        }
+
+
+def execute_job(job: JobSpec) -> RunReport:
+    """Simulate one job to completion (the unit of work for all backends)."""
+    workload = get_workload(job.workload, scale=job.scale)
+    return simulate(
+        workload,
+        job.policy,
+        config=job.config,
+        predictor_config=job.predictor_config,
+        dbi_max_rows=job.dbi_max_rows,
+    )
+
+
+def _execute_job_payload(job: JobSpec) -> dict[str, object]:
+    """Worker-side entry point: ship the report back as primitives.
+
+    Returning ``to_dict()`` output instead of the dataclass keeps the
+    parent<->worker contract identical to the store's JSON contract, so a
+    report that crossed a process boundary compares equal to one that was
+    simulated inline or loaded from disk.
+    """
+    return execute_job(job).to_dict()
+
+
+#: per-result callback: (index within the batch, finished report)
+ResultCallback = Callable[[int, RunReport], None]
+
+
+class SweepBackend(Protocol):
+    """Anything that can turn a batch of jobs into reports, in order.
+
+    ``on_result`` (when given) is invoked in the *calling* process as each
+    job finishes, before the batch completes -- the executor uses it to
+    persist results incrementally, so an interrupted sweep keeps every
+    cell that finished.
+    """
+
+    def run_jobs(
+        self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
+    ) -> list[RunReport]:
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """Run every job in the calling process, one after another."""
+
+    def run_jobs(
+        self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
+    ) -> list[RunReport]:
+        reports = []
+        for index, job in enumerate(jobs):
+            report = execute_job(job)
+            if on_result is not None:
+                on_result(index, report)
+            reports.append(report)
+        return reports
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend:
+    """Fan independent jobs out across worker processes.
+
+    Args:
+        max_workers: worker process count (``None`` lets
+            :class:`~concurrent.futures.ProcessPoolExecutor` use one per
+            core).
+
+    The pool is created per batch rather than held open: sweep batches are
+    coarse (each job is a whole simulation), so the fork cost is noise, and
+    a short-lived pool cannot leak workers into test runners or the CLI.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run_jobs(
+        self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
+    ) -> list[RunReport]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if len(jobs) == 1:
+            # a pool fork for a single job is pure overhead
+            report = execute_job(jobs[0])
+            if on_result is not None:
+                on_result(0, report)
+            return [report]
+        workers = self.max_workers
+        if workers is not None:
+            workers = min(workers, len(jobs))
+        reports: list[Optional[RunReport]] = [None] * len(jobs)
+        first_error: Optional[BaseException] = None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # submit + as_completed (rather than pool.map) so the callback
+            # fires the moment any job lands, in completion order -- a slow
+            # or failing early job cannot hold finished results hostage
+            futures = {
+                pool.submit(_execute_job_payload, job): index
+                for index, job in enumerate(jobs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    report = RunReport.from_dict(future.result())
+                except BaseException as exc:  # keep draining: persist survivors
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                if on_result is not None:
+                    on_result(index, report)
+                reports[index] = report
+        if first_error is not None:
+            raise first_error
+        assert all(report is not None for report in reports)
+        return reports  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolBackend(max_workers={self.max_workers})"
+
+
+@dataclass
+class ExecutorStats:
+    """Where the executor's reports came from (cumulative)."""
+
+    runs_simulated: int = 0
+    runs_loaded: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.runs_simulated + self.runs_loaded
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "runs_simulated": self.runs_simulated,
+            "runs_loaded": self.runs_loaded,
+        }
+
+
+class SweepExecutor:
+    """A backend plus an optional persistent store, with hit accounting.
+
+    Args:
+        backend: how cache-missing jobs are simulated (default: serial).
+        store: persistent result store consulted before simulating and
+            updated afterwards; ``None`` disables persistence.
+
+    One executor may be shared by any number of
+    :class:`~repro.experiments.runner.ExperimentRunner` instances (the
+    benchmark harness does exactly that), in which case its statistics
+    aggregate across all of them.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[SweepBackend] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        self.backend: SweepBackend = backend or SerialBackend()
+        self.store = store
+        self.stats = ExecutorStats()
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[RunReport]:
+        """Resolve every job to a report, in input order.
+
+        Store hits are loaded; the rest are simulated on the backend in one
+        batch (the parallel fan-out point) and written back to the store as
+        each one finishes, so even an interrupted sweep keeps its completed
+        cells.  Duplicate jobs within a batch are simulated only once.
+        """
+        jobs = list(jobs)
+        reports: list[Optional[RunReport]] = [None] * len(jobs)
+        loaded: dict[str, RunReport] = {}
+        pending: dict[str, list[int]] = {}
+        for index, job in enumerate(jobs):
+            key = job.fingerprint()
+            if key in loaded:  # duplicate of a store hit: no re-read, no recount
+                reports[index] = loaded[key]
+                continue
+            if key in pending:  # duplicate within this batch
+                pending[key].append(index)
+                continue
+            cached = self.store.load(key) if self.store is not None else None
+            if cached is not None:
+                loaded[key] = cached
+                reports[index] = cached
+                self.stats.runs_loaded += 1
+            else:
+                pending[key] = [index]
+        if pending:
+            keys = list(pending)
+            batch = [jobs[pending[key][0]] for key in keys]
+
+            def persist(batch_index: int, report: RunReport) -> None:
+                self.stats.runs_simulated += 1
+                if self.store is not None:
+                    key = keys[batch_index]
+                    self.store.save(key, report, job=batch[batch_index].summary())
+
+            fresh = self.backend.run_jobs(batch, on_result=persist)
+            for key, report in zip(keys, fresh):
+                for index in pending[key]:
+                    reports[index] = report
+        assert all(report is not None for report in reports)
+        return reports  # type: ignore[return-value]
+
+    def run_one(self, job: JobSpec) -> RunReport:
+        """Convenience wrapper for a single job."""
+        return self.run([job])[0]

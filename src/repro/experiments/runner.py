@@ -1,9 +1,15 @@
 """Shared sweep executor for the experiment drivers and benchmarks.
 
 Running the full evaluation requires simulating every workload under up to
-six policies.  :class:`ExperimentRunner` memoizes individual runs so that
-the figures which share data (e.g. Figures 6-9 all use the static-policy
-sweep) only pay for each simulation once within a process.
+six policies.  :class:`ExperimentRunner` turns (workload, policy) requests
+into :class:`~repro.experiments.jobs.JobSpec` jobs and delegates them to a
+:class:`~repro.experiments.jobs.SweepExecutor`, which can fan independent
+grid cells out across worker processes and persist finished reports in an
+on-disk :class:`~repro.experiments.store.ResultStore`.  The runner keeps
+its own in-process memo as an L1 over the store, so figures that share
+data (e.g. Figures 6-9 all use the static-policy sweep) only pay for each
+simulation once within a process -- and, with a store attached, only once
+*ever* for a given configuration.
 """
 
 from __future__ import annotations
@@ -13,10 +19,16 @@ from typing import Iterable, Optional, Sequence
 
 from repro.config import SystemConfig, default_config
 from repro.core.policies import STATIC_POLICIES, PolicySpec
-from repro.session import simulate
+from repro.experiments.jobs import (
+    JobSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepExecutor,
+)
+from repro.experiments.store import ResultStore
 from repro.stats.comparison import PolicyComparison
 from repro.stats.report import RunReport
-from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+from repro.workloads.registry import WORKLOAD_NAMES
 
 __all__ = ["ExperimentRunner", "SweepResult"]
 
@@ -71,6 +83,13 @@ class ExperimentRunner:
         scale: workload scale factor passed to the trace generators.
         config: system configuration (defaults to the scaled 8-CU system).
         workload_names: subset of workloads to evaluate (defaults to all 17).
+        executor: a (possibly shared) :class:`SweepExecutor`.  When given,
+            ``jobs`` and ``cache_dir`` are ignored -- the executor already
+            fixes the backend and store.
+        jobs: worker process count; values above 1 select a
+            :class:`ProcessPoolBackend` that fans the grid out across cores.
+        cache_dir: directory for the persistent result store; ``None``
+            keeps results in-process only (the pre-existing behaviour).
     """
 
     def __init__(
@@ -78,34 +97,106 @@ class ExperimentRunner:
         scale: float = 1.0,
         config: Optional[SystemConfig] = None,
         workload_names: Optional[Sequence[str]] = None,
+        executor: Optional[SweepExecutor] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.scale = scale
         self.config = config or default_config()
         self.workload_names = tuple(workload_names or WORKLOAD_NAMES)
+        if executor is None:
+            backend = (
+                ProcessPoolBackend(max_workers=jobs)
+                if jobs is not None and jobs > 1
+                else SerialBackend()
+            )
+            store = ResultStore(cache_dir) if cache_dir is not None else None
+            executor = SweepExecutor(backend=backend, store=store)
+        self.executor = executor
         self._cache: dict[tuple[str, str], RunReport] = {}
+        self._memo_hits = 0
 
     # ------------------------------------------------------------------
+    def job_for(self, workload_name: str, policy: PolicySpec) -> JobSpec:
+        """The :class:`JobSpec` this runner submits for one grid cell."""
+        return JobSpec(
+            workload=workload_name,
+            policy=policy,
+            scale=self.scale,
+            config=self.config,
+        )
+
     def run_one(self, workload_name: str, policy: PolicySpec) -> RunReport:
         """Simulate one (workload, policy) pair, memoized."""
         key = (workload_name, policy.name)
-        if key not in self._cache:
-            workload = get_workload(workload_name, scale=self.scale)
-            self._cache[key] = simulate(workload, policy, config=self.config)
-        return self._cache[key]
+        if key in self._cache:
+            self._memo_hits += 1
+            return self._cache[key]
+        report = self.executor.run_one(self.job_for(workload_name, policy))
+        self._cache[key] = report
+        return report
 
     def sweep(
         self,
         policies: Iterable[PolicySpec] = STATIC_POLICIES,
         workload_names: Optional[Sequence[str]] = None,
     ) -> SweepResult:
-        """Simulate every requested workload under every requested policy."""
-        result = SweepResult()
+        """Simulate every requested workload under every requested policy.
+
+        The cells missing from the in-process memo are submitted to the
+        executor as one batch, which is what lets a process-pool backend
+        run the whole grid concurrently.
+        """
         names = tuple(workload_names or self.workload_names)
-        for name in names:
-            for policy in policies:
-                result.add(self.run_one(name, policy))
+        policy_list = tuple(policies)
+        grid = [(name, policy) for name in names for policy in policy_list]
+        pending = [
+            (name, policy)
+            for name, policy in grid
+            if (name, policy.name) not in self._cache
+        ]
+        self._memo_hits += len(grid) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [self.job_for(name, policy) for name, policy in pending]
+            )
+            for (name, policy), report in zip(pending, reports):
+                self._cache[(name, policy.name)] = report
+        result = SweepResult()
+        for name, policy in grid:
+            result.add(self._cache[(name, policy.name)])
         return result
 
+    # ------------------------------------------------------------------
     def cached_runs(self) -> int:
-        """Number of simulations memoized so far."""
+        """Number of simulations memoized in-process so far."""
         return len(self._cache)
+
+    @property
+    def runs_simulated(self) -> int:
+        """Reports this runner's executor actually simulated."""
+        return self.executor.stats.runs_simulated
+
+    @property
+    def runs_loaded(self) -> int:
+        """Reports this runner's executor served from the persistent store."""
+        return self.executor.stats.runs_loaded
+
+    @property
+    def memo_hits(self) -> int:
+        """Requests answered from the in-process memo (L1) alone."""
+        return self._memo_hits
+
+    def stats(self) -> dict[str, int]:
+        """Cache-effectiveness accounting for benchmarks and the CLI.
+
+        Note: ``runs_simulated``/``runs_loaded`` come from the executor, so
+        when several runners share one executor (the benchmark harness)
+        they aggregate across all of them.
+        """
+        return {
+            "runs_simulated": self.runs_simulated,
+            "runs_loaded": self.runs_loaded,
+            "memo_hits": self._memo_hits,
+            "cached_runs": len(self._cache),
+        }

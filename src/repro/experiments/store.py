@@ -1,0 +1,134 @@
+"""Persistent on-disk store for simulation results.
+
+Simulating the paper's full 17-workload x 6-policy grid is by far the most
+expensive thing this repository does, and the CLI, the benchmark harness and
+the examples all need (subsets of) the same grid.  :class:`ResultStore`
+caches each finished :class:`~repro.stats.report.RunReport` as a small JSON
+blob keyed by a content hash of the *inputs* of the run (workload, scale,
+policy, system configuration -- see
+:meth:`repro.experiments.jobs.JobSpec.fingerprint`), so any process that
+asks for the same cell again gets it back without simulating.
+
+Layout: one ``<key>.json`` file per result under the store root, written
+atomically (temp file + ``os.replace``) so concurrent workers and readers
+never observe a torn blob.  Corrupt or schema-incompatible blobs are
+treated as misses, never as errors: the store is a cache, and the worst
+outcome of losing an entry is re-simulating it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping, Optional
+
+from repro.fingerprint import SCHEMA_VERSION
+from repro.stats.report import RunReport
+
+__all__ = ["ResultStore", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """The conventional store location: ``$REPRO_CACHE_DIR`` if set, else
+    ``$XDG_CACHE_HOME/repro-gpu-cache`` (``~/.cache/repro-gpu-cache``)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-gpu-cache"
+
+
+class ResultStore:
+    """Directory of JSON result blobs keyed by job fingerprint.
+
+    Args:
+        root: store directory; created (with parents) on first use.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise NotADirectoryError(
+                f"result store path {self.root} exists and is not a directory"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\."):
+            raise ValueError(f"invalid store key {key!r}")
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunReport]:
+        """Return the stored report for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                blob = json.load(handle)
+        except (OSError, ValueError):
+            # OSError: missing/unreadable file; ValueError: malformed JSON
+            # (JSONDecodeError) or non-UTF-8 bytes (UnicodeDecodeError)
+            return None
+        if not isinstance(blob, Mapping) or blob.get("schema") != SCHEMA_VERSION:
+            return None
+        report = blob.get("report")
+        if not isinstance(report, Mapping):
+            return None
+        try:
+            return RunReport.from_dict(report)
+        except (ValueError, TypeError):
+            return None
+
+    def save(self, key: str, report: RunReport, job: Optional[Mapping[str, object]] = None) -> None:
+        """Persist ``report`` under ``key`` atomically.
+
+        Args:
+            key: the job fingerprint.
+            job: optional human-readable summary of the job inputs, stored
+                alongside the report so blobs can be audited with ``jq``.
+        """
+        path = self._path(key)
+        blob: dict[str, object] = {"schema": SCHEMA_VERSION, "key": key, "report": report.to_dict()}
+        if job is not None:
+            blob["job"] = dict(job)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(blob, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys currently stored."""
+        for path in self.root.glob("*.json"):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every stored blob; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,93 @@
+"""Stable content fingerprints for configuration objects.
+
+The persistent result store (:mod:`repro.experiments.store`) keys cached
+simulation results by the *inputs* of a run: workload name, scale, policy
+and system configuration.  Those inputs are all frozen dataclasses of
+primitives, so a canonical JSON rendering hashed with SHA-256 gives a key
+that is stable across processes and Python versions -- unlike ``hash()``,
+which is salted per process for strings.
+
+Fingerprints are tagged with the dataclass name (at every nesting level)
+so that two different config types whose fields happen to coincide can
+never collide, and every key embeds both :data:`SCHEMA_VERSION` and a
+digest of this package's own source code (:func:`code_digest`), so a
+simulator behaviour change -- even one nobody remembered to version-bump
+-- invalidates old blobs instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "canonical_payload", "code_digest", "fingerprint"]
+
+#: bump to invalidate every previously stored result blob explicitly
+SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_digest() -> str:
+    """SHA-256 over every ``repro`` source file, computed once per process.
+
+    Mixing this into result keys ties every cached blob to the exact
+    simulator code that produced it: edit any module under ``repro`` and
+    previously stored results become misses rather than silently-stale
+    hits.  The walk is ~100 small files, so the one-time cost is
+    negligible next to a single simulation.
+    """
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(str(source.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-serializable primitives, deterministically.
+
+    Dataclasses become tagged ``{"__kind__": <class name>, ...fields}``
+    dictionaries -- recursively, so nested configs keep their own type tag
+    too; tuples become lists; dictionaries keep their (string) keys.
+    Anything JSON cannot represent is rejected loudly rather than silently
+    stringified, so fingerprints never drift with ``repr`` changes.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        payload: dict[str, Any] = {"__kind__": type(obj).__name__}
+        for spec in fields(obj):
+            payload[spec.name] = canonical_payload(getattr(obj, spec.name))
+        return payload
+    if isinstance(obj, dict):
+        return {str(key): canonical_payload(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(obj: Any, *, kind: str | None = None) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON rendering.
+
+    Args:
+        obj: a dataclass instance or a structure of primitives.
+        kind: optional tag mixed into the hash; defaults to the dataclass
+            name when ``obj`` is a dataclass.
+    """
+    if kind is None and is_dataclass(obj) and not isinstance(obj, type):
+        kind = type(obj).__name__
+    envelope = {
+        "schema": SCHEMA_VERSION,
+        "code": code_digest(),
+        "kind": kind,
+        "payload": canonical_payload(obj),
+    }
+    blob = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -17,9 +17,8 @@ explicitly:
   fetching and later stores to the same line coalesce; dirty data is written
   back on eviction or when :meth:`flush_dirty` is called at a system-scope
   synchronization point.
-* **Self-invalidation** -- :meth:`invalidate_clean` drops all
-
-  valid clean lines at kernel boundaries (GPU release/acquire semantics).
+* **Self-invalidation** -- :meth:`invalidate_clean` drops all valid clean
+  lines at kernel boundaries (GPU release/acquire semantics).
 * **Cache rinsing (DBI)** -- when a dirty line is evicted and a
   :class:`~repro.core.dirty_block_index.DirtyBlockIndex` is attached, all
   other dirty lines mapping to the same DRAM row are written back with it

@@ -53,6 +53,48 @@ class RunReport:
             wavefront_size=config.gpu.wavefront_size,
         )
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Full state of the report, suitable for lossless JSON round-trip.
+
+        Unlike :meth:`as_dict` (the *derived* figure metrics), this captures
+        the raw fields, so ``RunReport.from_dict(report.to_dict())`` compares
+        equal to ``report`` and reproduces every derived metric exactly.
+        The persistent result store and the process-pool backend both ship
+        reports across process boundaries in this form.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "cycles": self.cycles,
+            "counters": dict(self.counters),
+            "clock_ghz": self.clock_ghz,
+            "wavefront_size": self.wavefront_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. a JSON blob)."""
+        try:
+            workload = data["workload"]
+            policy = data["policy"]
+            cycles = data["cycles"]
+        except KeyError as missing:
+            raise ValueError(f"run report dict is missing key {missing}") from None
+        if not isinstance(workload, str) or not isinstance(policy, str):
+            raise ValueError("run report workload/policy must be strings")
+        counters_raw = data.get("counters", {})
+        if not isinstance(counters_raw, Mapping):
+            raise ValueError("run report counters must be a mapping")
+        return cls(
+            workload=workload,
+            policy=policy,
+            cycles=int(cycles),  # type: ignore[arg-type]
+            counters={str(name): int(value) for name, value in counters_raw.items()},  # type: ignore[arg-type]
+            clock_ghz=float(data.get("clock_ghz", 1.6)),  # type: ignore[arg-type]
+            wavefront_size=int(data.get("wavefront_size", 64)),  # type: ignore[arg-type]
+        )
+
     # ------------------------------------------------------------------
     def get(self, name: str, default: int = 0) -> int:
         return self.counters.get(name, default)

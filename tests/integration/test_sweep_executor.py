@@ -1,0 +1,141 @@
+"""Executor equivalence and persistent-store reuse.
+
+The guarantees the sweep executor rests on:
+
+* a :class:`ProcessPoolBackend` sweep produces *bitwise-identical* reports
+  to a :class:`SerialBackend` sweep of the same grid (simulations are
+  deterministic and the worker/store serialization is lossless);
+* a second sweep against a warm store performs zero new simulations;
+* the runner's in-process memo answers repeats without touching the
+  executor at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.policies import CACHE_R, STATIC_POLICIES, UNCACHED
+from repro.experiments import (
+    ExperimentRunner,
+    JobSpec,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    SweepExecutor,
+)
+
+#: two fast, behaviourally distinct workloads keep the grid cheap
+SUBSET = ("FwSoft", "FwAct")
+SCALE = 0.1
+TINY = scaled_config(2)
+
+
+def make_runner(**kwargs) -> ExperimentRunner:
+    return ExperimentRunner(scale=SCALE, config=TINY, workload_names=SUBSET, **kwargs)
+
+
+def grid_dicts(sweep) -> dict:
+    return {key: report.to_dict() for key, report in sweep.reports.items()}
+
+
+class TestBackendEquivalence:
+    def test_process_pool_matches_serial_bitwise(self):
+        serial = make_runner().sweep(policies=STATIC_POLICIES)
+        parallel = make_runner(jobs=4).sweep(policies=STATIC_POLICIES)
+        assert grid_dicts(parallel) == grid_dicts(serial)
+
+    def test_single_job_short_circuits_the_pool(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        (pooled,) = backend.run_jobs([job])
+        (serial,) = SerialBackend().run_jobs([job])
+        assert pooled.to_dict() == serial.to_dict()
+
+    def test_pool_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+
+
+class TestStoreReuse:
+    def test_second_run_is_served_entirely_from_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        first = make_runner(cache_dir=store_dir)
+        cold = first.sweep(policies=STATIC_POLICIES)
+        assert first.runs_simulated == len(SUBSET) * len(STATIC_POLICIES)
+        assert first.runs_loaded == 0
+
+        second = make_runner(cache_dir=store_dir)
+        warm = second.sweep(policies=STATIC_POLICIES)
+        assert second.runs_simulated == 0, "warm store must serve every cell"
+        assert second.runs_loaded == len(SUBSET) * len(STATIC_POLICIES)
+        assert grid_dicts(warm) == grid_dicts(cold)
+
+    def test_store_and_pool_compose(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold = make_runner(jobs=2, cache_dir=store_dir).sweep(policies=(UNCACHED, CACHE_R))
+        warm_runner = make_runner(jobs=2, cache_dir=store_dir)
+        warm = warm_runner.sweep(policies=(UNCACHED, CACHE_R))
+        assert warm_runner.runs_simulated == 0
+        assert grid_dicts(warm) == grid_dicts(cold)
+
+    def test_corrupt_blob_is_a_miss_not_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        key = job.fingerprint()
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert store.load(key) is None
+        (tmp_path / f"{key}.json").write_bytes(b"\xff\xfe garbage")
+        assert store.load(key) is None, "non-UTF-8 blobs are misses, not errors"
+        executor = SweepExecutor(store=store)
+        (report,) = executor.run([job])
+        assert executor.stats.runs_simulated == 1
+        loaded = store.load(key)
+        assert loaded is not None and loaded.to_dict() == report.to_dict()
+
+    def test_interrupted_batch_keeps_finished_cells(self, tmp_path):
+        """Results are persisted as they finish, not when the batch ends."""
+        store = ResultStore(tmp_path)
+        executor = SweepExecutor(store=store)
+        good = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        bad = JobSpec(workload="NotAWorkload", policy=CACHE_R, scale=SCALE, config=TINY)
+        with pytest.raises(KeyError):
+            executor.run([good, bad])
+        assert store.load(good.fingerprint()) is not None
+        # the crashed sweep's survivor is reused by the retry
+        retry = SweepExecutor(store=store)
+        retry.run([good])
+        assert retry.stats.runs_loaded == 1 and retry.stats.runs_simulated == 0
+
+    def test_duplicate_jobs_in_one_batch_simulate_once(self, tmp_path):
+        executor = SweepExecutor(store=ResultStore(tmp_path))
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        first, second = executor.run([job, job])
+        assert executor.stats.runs_simulated == 1
+        assert first.to_dict() == second.to_dict()
+
+
+class TestRunnerMemo:
+    def test_memo_absorbs_repeats_without_touching_executor(self):
+        runner = make_runner()
+        runner.sweep(policies=STATIC_POLICIES)
+        simulated = runner.runs_simulated
+        runner.sweep(policies=STATIC_POLICIES)
+        runner.run_one(SUBSET[0], STATIC_POLICIES[0])
+        assert runner.runs_simulated == simulated
+        assert runner.memo_hits >= len(SUBSET) * len(STATIC_POLICIES) + 1
+
+    def test_shared_executor_aggregates_across_runners(self, tmp_path):
+        executor = SweepExecutor(store=ResultStore(tmp_path))
+        one = make_runner(executor=executor)
+        two = make_runner(executor=executor)
+        one.sweep(policies=(CACHE_R,))
+        two.sweep(policies=(CACHE_R,))
+        # the second runner has a cold memo but a warm shared store
+        assert executor.stats.runs_simulated == len(SUBSET)
+        assert executor.stats.runs_loaded == len(SUBSET)
+
+    def test_stats_keys(self):
+        runner = make_runner()
+        stats = runner.stats()
+        assert set(stats) == {"runs_simulated", "runs_loaded", "memo_hits", "cached_runs"}

@@ -1,0 +1,135 @@
+"""RunReport round-trip and config/job fingerprint stability."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_config, paper_config, scaled_config
+from repro.core.policies import ALL_POLICIES, CACHE_R, CACHE_RW, UNCACHED
+from repro.core.reuse_predictor import PredictorConfig
+from repro.experiments.jobs import JobSpec
+from repro.fingerprint import canonical_payload, code_digest, fingerprint
+from repro.stats.report import RunReport
+
+
+def make_report(**overrides) -> RunReport:
+    fields = dict(
+        workload="FwSoft",
+        policy="CacheR",
+        cycles=123456,
+        counters={"dram.accesses": 42, "l1.hits": 7, "gpu.mem_requests": 99},
+        clock_ghz=1.6,
+        wavefront_size=64,
+    )
+    fields.update(overrides)
+    return RunReport(**fields)
+
+
+class TestRunReportRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        report = make_report()
+        assert RunReport.from_dict(report.to_dict()) == report
+
+    def test_round_trip_survives_json(self):
+        report = make_report()
+        revived = RunReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert revived == report
+        # derived metrics are reproduced exactly, not approximately
+        assert revived.as_dict() == report.as_dict()
+
+    def test_round_trip_preserves_non_default_fields(self):
+        report = make_report(clock_ghz=2.0, wavefront_size=32)
+        revived = RunReport.from_dict(report.to_dict())
+        assert revived.clock_ghz == 2.0
+        assert revived.wavefront_size == 32
+
+    def test_missing_required_key_raises(self):
+        data = make_report().to_dict()
+        del data["cycles"]
+        with pytest.raises(ValueError, match="cycles"):
+            RunReport.from_dict(data)
+
+    def test_bad_counters_raise(self):
+        data = make_report().to_dict()
+        data["counters"] = ["not", "a", "mapping"]
+        with pytest.raises(ValueError):
+            RunReport.from_dict(data)
+
+    def test_to_dict_copies_counters(self):
+        report = make_report()
+        report.to_dict()["counters"]["dram.accesses"] = -1  # type: ignore[index]
+        assert report.counters["dram.accesses"] == 42
+
+
+class TestConfigFingerprints:
+    def test_same_inputs_same_fingerprint(self):
+        assert default_config().fingerprint() == default_config().fingerprint()
+        assert CACHE_RW.fingerprint() == replace(CACHE_RW).fingerprint()
+        assert PredictorConfig().fingerprint() == PredictorConfig().fingerprint()
+
+    def test_changed_config_changes_fingerprint(self):
+        base = default_config()
+        assert base.fingerprint() != paper_config().fingerprint()
+        assert base.fingerprint() != scaled_config(4).fingerprint()
+        bumped = replace(base, l2=replace(base.l2, mshrs=base.l2.mshrs + 1))
+        assert bumped.fingerprint() != base.fingerprint()
+
+    def test_policies_have_distinct_fingerprints(self):
+        prints = {policy.fingerprint() for policy in ALL_POLICIES}
+        assert len(prints) == len(ALL_POLICIES)
+
+    def test_renamed_policy_changes_fingerprint(self):
+        assert (
+            replace(CACHE_RW, name="CacheRW-renamed").fingerprint()
+            != CACHE_RW.fingerprint()
+        )
+
+    def test_fingerprint_rejects_unserializable_objects(self):
+        with pytest.raises(TypeError):
+            fingerprint({"bad": object()})
+
+    def test_canonical_payload_tags_dataclasses(self):
+        payload = canonical_payload(UNCACHED)
+        assert payload["__kind__"] == "PolicySpec"
+
+    def test_canonical_payload_tags_nested_dataclasses(self):
+        payload = canonical_payload(default_config())
+        assert payload["__kind__"] == "SystemConfig"
+        assert payload["gpu"]["__kind__"] == "GpuConfig"
+        assert payload["l1"]["__kind__"] == "CacheConfig"
+
+    def test_code_digest_is_stable_hex(self):
+        assert code_digest() == code_digest()
+        assert len(code_digest()) == 64
+        int(code_digest(), 16)
+
+
+class TestJobSpecFingerprints:
+    def test_same_job_same_key(self):
+        a = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.5, config=scaled_config(2))
+        b = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.5, config=scaled_config(2))
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "FwAct"},
+            {"policy": CACHE_RW},
+            {"scale": 0.25},
+            {"config": scaled_config(4)},
+            {"predictor_config": PredictorConfig(table_entries=256)},
+            {"dbi_max_rows": 8},
+        ],
+        ids=lambda change: next(iter(change)),
+    )
+    def test_any_changed_input_changes_key(self, change):
+        base = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.5, config=scaled_config(2))
+        assert replace(base, **change).fingerprint() != base.fingerprint()
+
+    def test_key_is_hex_sha256(self):
+        key = JobSpec(workload="FwSoft", policy=CACHE_R).fingerprint()
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
