@@ -1,36 +1,60 @@
 """Priority-queue event scheduler for the discrete-event engine.
 
-Events are ``(time, sequence, callback)`` triples kept in a binary heap.
-The sequence number breaks ties deterministically: two events scheduled for
-the same cycle fire in the order they were scheduled, which keeps the
-simulator fully reproducible.
+Events are plain ``(time, sequence, callback)`` tuples kept in a binary
+heap.  The sequence number breaks ties deterministically: two events
+scheduled for the same cycle fire in the order they were scheduled, which
+keeps the simulator fully reproducible.  Plain tuples matter for speed --
+they cost one small allocation and compare element-wise in C during heap
+sifts, where a dataclass event would pay a Python ``__lt__`` per
+comparison.
+
+Cancellation is deliberately kept off this fast path.  The ordinary
+:meth:`EventQueue.schedule` / :meth:`EventQueue.schedule_at` calls are
+fire-and-forget (they return ``None``); the rare caller that needs to
+revoke an event uses :meth:`EventQueue.schedule_cancellable`, which
+returns an :class:`Event` handle.  A cancelled event's sequence number
+goes into a side set that the pop loop consults only when non-empty, so
+simulations that never cancel (all of them, today) pay a single truth
+test per event.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a cancellable scheduled callback.
 
-    Events compare by ``(time, seq)`` so they sort correctly inside the heap.
-    The callback and its argument do not participate in ordering.
+    Only :meth:`EventQueue.schedule_cancellable` returns these; ordinary
+    scheduling does not allocate a handle.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "cancelled", "_queue")
+
+    def __init__(self, queue: "EventQueue", time: int, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
-        self.cancelled = True
+        """Mark the event so it is skipped when popped.
+
+        Cancelling an event that can no longer be in the heap (its time is
+        already in the past) is a no-op rather than a stale side-set entry.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self.time >= self._queue._now:
+                self._queue._cancelled.add(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
 
 
 class EventQueue:
@@ -42,11 +66,15 @@ class EventQueue:
     the earliest event and invokes its callback.
     """
 
+    __slots__ = ("_heap", "_seq", "_now", "_executed", "_cancelled")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[int, int, Callable[[], Any]]] = []
         self._seq = 0
         self._now = 0
         self._executed = 0
+        #: sequence numbers of cancelled-but-not-yet-popped events
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> int:
@@ -63,36 +91,64 @@ class EventQueue:
         """Number of events executed so far."""
         return self._executed
 
-    def schedule(self, delay: int | float, callback: Callable[[], Any]) -> Event:
+    def schedule(self, delay: int | float, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now.
 
         Delays are rounded up to whole cycles; negative delays are an error.
+        Integer delays (the overwhelmingly common case) skip the rounding
+        entirely.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + int(round(delay)), callback)
+        time = self._now + (delay if delay.__class__ is int else int(round(delay)))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, callback))
 
-    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if time.__class__ is not int:
+            time = int(time)
         if time < self._now:
             raise ValueError(
                 f"cannot schedule an event at {time}, current time is {self._now}"
             )
-        event = Event(time=int(time), seq=self._seq, callback=callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, callback))
+
+    def schedule_cancellable(
+        self, delay: int | float, callback: Callable[[], Any]
+    ) -> Event:
+        """Like :meth:`schedule`, but return a handle that can cancel.
+
+        Cancellable events ride the same heap as ordinary ones; only the
+        handle allocation and the cancelled-sequence bookkeeping are extra.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        time = self._now + (delay if delay.__class__ is int else int(round(delay)))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, callback))
+        return Event(self, time, seq)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            time, seq, callback = heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self._now = event.time
+            self._now = time
             self._executed += 1
-            event.callback()
+            callback()
             return True
+        if cancelled:
+            # empty heap: any remaining cancelled seqs are fired-or-popped
+            cancelled.clear()
         return False
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
@@ -106,23 +162,30 @@ class EventQueue:
         Returns:
             The simulation time when the run stopped.
         """
+        # Hot loop: locals for everything touched per event, one heap pop
+        # per event (no separate peek traversal), and a single truth test
+        # for the (empty, in practice) cancelled set.
+        heap = self._heap
+        pop = heappop
+        cancelled = self._cancelled
         executed = 0
-        while self._heap:
-            if max_events is not None and executed >= max_events:
-                break
-            nxt = self._peek_time()
-            if nxt is None:
-                break
-            if until is not None and nxt > until:
-                self._now = until
-                break
-            if self.step():
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    break
+                time, seq, callback = pop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                self._now = time
                 executed += 1
+                callback()
+            if not heap and cancelled:
+                # drained: no pending entry can match, drop any stale seqs
+                cancelled.clear()
+        finally:
+            self._executed += executed
         return self._now
-
-    def _peek_time(self) -> int | None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time

@@ -28,6 +28,8 @@ class ThroughputResource:
     attribute contention (e.g. cache tag-port stalls).
     """
 
+    __slots__ = ("name", "cycles_per_grant", "_next_free", "grants", "total_wait_cycles")
+
     def __init__(self, name: str, cycles_per_grant: float = 1.0) -> None:
         if cycles_per_grant <= 0:
             raise ValueError("cycles_per_grant must be positive")
@@ -40,14 +42,22 @@ class ThroughputResource:
     def grant(self, now: int) -> int:
         """Book the next available slot at or after ``now``.
 
-        Returns the cycle at which the grant occurs.
+        Returns the cycle at which the grant occurs.  The uncontended case
+        (``now`` at or past the cursor) takes the branch with no float
+        conversions; both branches book exactly the same cursor value the
+        previous ``max(float(now), ...)`` formulation did.
         """
-        start = max(float(now), self._next_free)
-        self._next_free = start + self.cycles_per_grant
-        wait = int(start) - now
+        next_free = self._next_free
         self.grants += 1
-        self.total_wait_cycles += max(0, wait)
-        return int(start)
+        if now >= next_free:
+            self._next_free = now + self.cycles_per_grant
+            return now
+        self._next_free = next_free + self.cycles_per_grant
+        start = int(next_free)
+        wait = start - now
+        if wait > 0:
+            self.total_wait_cycles += wait
+        return start
 
     def grant_duration(self, now: int, duration: float) -> int:
         """Book the resource exclusively for ``duration`` cycles.
@@ -82,6 +92,8 @@ class WaitQueue:
     DRAM bank queues.  The owner calls :meth:`wake_one` / :meth:`wake_all`
     when capacity frees up; each waiter callback receives the wake-up time.
     """
+
+    __slots__ = ("name", "_waiters", "total_enqueued")
 
     def __init__(self, name: str) -> None:
         self.name = name

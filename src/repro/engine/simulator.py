@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.engine.event_queue import Event, EventQueue
+from repro.engine.event_queue import EventQueue
 
 __all__ = ["Simulator"]
 
@@ -20,10 +20,13 @@ class Simulator:
 
     A thin facade over :class:`~repro.engine.event_queue.EventQueue` that
     also carries a deadlock guard (``max_events``) so a mis-wired model
-    fails loudly instead of spinning forever.
+    fails loudly instead of spinning forever.  The budget is an *aggregate*
+    across the simulator's lifetime: repeated :meth:`run` calls on one
+    simulator share it, so a caller stepping a simulation in slices cannot
+    execute more than ``max_events`` events in total.
     """
 
-    #: default safety bound on executed events for a single run
+    #: default safety bound on executed events for a single simulator
     DEFAULT_MAX_EVENTS = 50_000_000
 
     def __init__(self, max_events: int | None = None) -> None:
@@ -36,13 +39,13 @@ class Simulator:
         """Current simulation time in GPU cycles."""
         return self.queue.now
 
-    def schedule(self, delay: int | float, callback: Callable[[], Any]) -> Event:
+    def schedule(self, delay: int | float, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
-        return self.queue.schedule(delay, callback)
+        self.queue.schedule(delay, callback)
 
-    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` at an absolute cycle."""
-        return self.queue.schedule_at(time, callback)
+        self.queue.schedule_at(time, callback)
 
     def on_finish(self, hook: Callable[[int], None]) -> None:
         """Register a hook invoked with the final time when :meth:`run` ends."""
@@ -52,12 +55,12 @@ class Simulator:
         """Run until the event queue drains (or ``until`` is reached).
 
         Returns the final simulation time.  Raises ``RuntimeError`` if the
-        event budget is exhausted, which almost always indicates a livelock
-        in a timing model.
+        aggregate event budget is exhausted with work still pending, which
+        almost always indicates a livelock in a timing model.
         """
-        start_executed = self.queue.executed
-        final = self.queue.run(until=until, max_events=self.max_events)
-        if self.queue.executed - start_executed >= self.max_events and self.queue.pending:
+        remaining = self.max_events - self.queue.executed
+        final = self.queue.run(until=until, max_events=max(0, remaining))
+        if self.queue.pending and self.queue.executed >= self.max_events:
             raise RuntimeError(
                 f"simulation exceeded the event budget of {self.max_events} events; "
                 "a component is probably rescheduling itself without making progress"

@@ -24,10 +24,27 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
-__all__ = ["SCHEMA_VERSION", "canonical_payload", "code_digest", "fingerprint"]
+__all__ = ["SCHEMA_VERSION", "canonical_payload", "code_digest", "fingerprint", "tree_digest"]
 
 #: bump to invalidate every previously stored result blob explicitly
 SCHEMA_VERSION = 1
+
+
+def tree_digest(root: Path) -> str:
+    """SHA-256 over every ``*.py`` file under ``root`` (paths + contents).
+
+    Exposed separately from :func:`code_digest` so tests can prove the
+    staleness property directly: editing any source file under ``root``
+    changes the digest, and therefore every result-store key derived from
+    it.
+    """
+    digest = hashlib.sha256()
+    for source in sorted(root.rglob("*.py")):
+        digest.update(str(source.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
 
 
 @lru_cache(maxsize=1)
@@ -40,14 +57,7 @@ def code_digest() -> str:
     hits.  The walk is ~100 small files, so the one-time cost is
     negligible next to a single simulation.
     """
-    package_root = Path(__file__).resolve().parent
-    digest = hashlib.sha256()
-    for source in sorted(package_root.rglob("*.py")):
-        digest.update(str(source.relative_to(package_root)).encode("utf-8"))
-        digest.update(b"\0")
-        digest.update(source.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
+    return tree_digest(Path(__file__).resolve().parent)
 
 
 def canonical_payload(obj: Any) -> Any:

@@ -59,6 +59,12 @@ class ComputeUnit:
         self._cycles_per_vector_op = max(simd_cycles_per_op, 0.25)
         self.max_outstanding_mem = config.max_outstanding_mem_per_wave
         self._resident: dict[int, Wavefront] = {}
+        # pre-bound handles shared with the wavefronts resident on this CU
+        self._c_wavefronts_started = stats.counter("gpu.wavefronts_started")
+        self._c_wavefronts_finished = stats.counter("gpu.wavefronts_finished")
+        self._c_vector_ops = stats.counter("gpu.vector_ops")
+        self._c_mem_instructions = stats.counter("gpu.mem_instructions")
+        self._h_mem_latency = stats.histogram_handle("gpu.mem_latency")
 
     # ------------------------------------------------------------------
     @property
@@ -86,12 +92,12 @@ class ComputeUnit:
             on_finished=self._wavefront_finished,
         )
         self._resident[wavefront_id] = wavefront
-        self.stats.add("gpu.wavefronts_started")
+        self._c_wavefronts_started.add()
         wavefront.start()
 
     def _wavefront_finished(self, wavefront: Wavefront) -> None:
         del self._resident[wavefront.wavefront_id]
-        self.stats.add("gpu.wavefronts_finished")
+        self._c_wavefronts_finished.add()
         self.on_wavefront_finished(self.cu_id)
 
     # ------------------------------------------------------------------

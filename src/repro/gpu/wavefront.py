@@ -25,6 +25,25 @@ __all__ = ["Wavefront"]
 class Wavefront:
     """Runtime state of one wavefront resident on a CU."""
 
+    __slots__ = (
+        "wavefront_id",
+        "kernel_id",
+        "program",
+        "cu",
+        "on_finished",
+        "_next_instr",
+        "_inflight_mem",
+        "_pending_lines",
+        "_blocked",
+        "_finished",
+        "issued_lines",
+        "issued_vector_ops",
+        "_queue",
+        "_schedule",
+        "_schedule_at",
+        "_instructions",
+    )
+
     def __init__(
         self,
         wavefront_id: int,
@@ -45,16 +64,21 @@ class Wavefront:
         self._finished = False
         self.issued_lines = 0
         self.issued_vector_ops = 0
+        queue = cu.sim.queue
+        self._queue = queue
+        self._schedule = queue.schedule
+        self._schedule_at = queue.schedule_at
+        self._instructions = program.instructions
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin executing at the current simulation time."""
-        self.cu.sim.schedule(0, self._issue_next)
+        self._schedule(0, self._issue_next)
 
     # ------------------------------------------------------------------
     @property
     def done_issuing(self) -> bool:
-        return self._next_instr >= len(self.program.instructions)
+        return self._next_instr >= len(self._instructions)
 
     @property
     def finished(self) -> bool:
@@ -63,50 +87,58 @@ class Wavefront:
     def _issue_next(self) -> None:
         if self._finished:
             return
-        if self.done_issuing:
+        instructions = self._instructions
+        if self._next_instr >= len(instructions):
             self._maybe_finish()
             return
-        if self._inflight_mem >= self.cu.max_outstanding_mem:
+        cu = self.cu
+        if self._inflight_mem >= cu.max_outstanding_mem:
             self._blocked = True
             return
-        grant = self.cu.issue_port.grant(self.cu.sim.now)
-        instruction = self.program.instructions[self._next_instr]
+        grant = cu.issue_port.grant(self._queue.now)
+        instruction = instructions[self._next_instr]
         self._next_instr += 1
         if isinstance(instruction, ComputeInstr):
-            self.cu.sim.schedule_at(grant, lambda: self._execute_compute(instruction))
+            self._schedule_at(grant, lambda: self._execute_compute(instruction))
         else:
-            self.cu.sim.schedule_at(grant, lambda: self._execute_memory(instruction))
+            self._schedule_at(grant, lambda: self._execute_memory(instruction))
 
     def _execute_compute(self, instruction: ComputeInstr) -> None:
-        now = self.cu.sim.now
-        end = self.cu.book_compute(now, instruction.vector_ops)
-        self.issued_vector_ops += instruction.vector_ops
-        self.cu.stats.add("gpu.vector_ops", instruction.vector_ops)
-        self.cu.sim.schedule_at(max(end, now), self._issue_next)
+        cu = self.cu
+        now = self._queue.now
+        vector_ops = instruction.vector_ops
+        end = cu.book_compute(now, vector_ops)
+        self.issued_vector_ops += vector_ops
+        cu._c_vector_ops.add(vector_ops)
+        self._schedule_at(max(end, now), self._issue_next)
 
     def _execute_memory(self, instruction: MemInstr) -> None:
-        now = self.cu.sim.now
+        cu = self.cu
+        now = self._queue.now
         index = self._next_instr - 1
-        self._pending_lines[index] = len(instruction.line_addresses)
+        line_addresses = instruction.line_addresses
+        self._pending_lines[index] = len(line_addresses)
         self._inflight_mem += 1
-        self.cu.stats.add("gpu.mem_instructions")
-        for address in instruction.line_addresses:
+        cu._c_mem_instructions.add()
+        access = instruction.access
+        pc = instruction.pc
+        for address in line_addresses:
             request = MemoryRequest(
-                access=instruction.access,
+                access=access,
                 address=address,
-                pc=instruction.pc,
-                cu_id=self.cu.cu_id,
+                pc=pc,
+                cu_id=cu.cu_id,
                 wavefront_id=self.wavefront_id,
                 kernel_id=self.kernel_id,
                 issue_cycle=now,
             )
             self.issued_lines += 1
-            self.cu.issue_memory_request(
+            cu.issue_memory_request(
                 request, lambda req, idx=index: self._on_response(idx, req)
             )
         # keep issuing unless the in-flight window is now full
-        if self._inflight_mem < self.cu.max_outstanding_mem:
-            self.cu.sim.schedule(1, self._issue_next)
+        if self._inflight_mem < cu.max_outstanding_mem:
+            self._schedule(1, self._issue_next)
         else:
             self._blocked = True
 
@@ -122,15 +154,16 @@ class Wavefront:
             self._inflight_mem -= 1
         else:
             self._pending_lines[index] = remaining - 1
-        self.cu.stats.observe("gpu.mem_latency", self.cu.sim.now - request.issue_cycle)
-        if self._blocked and self._inflight_mem < self.cu.max_outstanding_mem:
+        cu = self.cu
+        cu._h_mem_latency[self._queue.now - request.issue_cycle] += 1
+        if self._blocked and self._inflight_mem < cu.max_outstanding_mem:
             self._blocked = False
-            self.cu.sim.schedule(0, self._issue_next)
-        elif self.done_issuing:
+            self._schedule(0, self._issue_next)
+        elif self._next_instr >= len(self._instructions):
             self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        if self._finished or not self.done_issuing or self._inflight_mem > 0:
+        if self._finished or self._next_instr < len(self._instructions) or self._inflight_mem > 0:
             return
         self._finished = True
         self.on_finished(self)
@@ -138,6 +171,6 @@ class Wavefront:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Wavefront(id={self.wavefront_id}, kernel={self.kernel_id}, "
-            f"instr={self._next_instr}/{len(self.program.instructions)}, "
+            f"instr={self._next_instr}/{len(self._instructions)}, "
             f"inflight={self._inflight_mem})"
         )

@@ -26,12 +26,17 @@ explicitly:
 * **PC-based bypassing** -- when a reuse predictor is attached, loads and
   stores whose PC is predicted dead bypass the cache; a subset of sampler
   sets always caches so the predictor keeps learning (paper section VII.C).
+
+Implementation notes for the hot path: tag lookup is indexed (each set
+keeps a ``tag -> way`` dict maintained on fill/evict/invalidate, so lookups
+never scan ways linearly), all statistics are pre-bound
+:class:`~repro.stats.counters.Counter` handles resolved once in
+``__init__``, and event scheduling goes straight to the shared event queue.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.config import CacheConfig
@@ -60,22 +65,40 @@ class LineState(enum.Enum):
     PENDING = "pending"
 
 
-@dataclass
+_INVALID = LineState.INVALID
+_VALID = LineState.VALID
+_DIRTY = LineState.DIRTY
+_PENDING = LineState.PENDING
+
+
 class CacheLine:
     """One way of one set."""
 
-    state: LineState = LineState.INVALID
-    tag: int = -1
-    inserted_pc: int = 0
-    reused: bool = False
+    __slots__ = ("state", "tag", "inserted_pc", "reused")
+
+    def __init__(
+        self,
+        state: LineState = _INVALID,
+        tag: int = -1,
+        inserted_pc: int = 0,
+        reused: bool = False,
+    ) -> None:
+        self.state = state
+        self.tag = tag
+        self.inserted_pc = inserted_pc
+        self.reused = reused
 
     @property
     def busy(self) -> bool:
-        return self.state is LineState.PENDING
+        return self.state is _PENDING
 
     @property
     def holds_data(self) -> bool:
-        return self.state in (LineState.VALID, LineState.DIRTY)
+        state = self.state
+        return state is _VALID or state is _DIRTY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheLine({self.state.value}, tag=0x{self.tag:x})"
 
 
 DownstreamFn = Callable[[MemoryRequest, Callable[[MemoryRequest], None]], None]
@@ -133,6 +156,9 @@ class Cache:
         self.sets: list[list[CacheLine]] = [
             [CacheLine() for _ in range(config.assoc)] for _ in range(config.num_sets)
         ]
+        #: per-set tag -> way index, maintained on fill/evict/invalidate so
+        #: lookups are one dict probe instead of a scan over the ways
+        self._tag_to_way: list[dict[int, int]] = [{} for _ in range(config.num_sets)]
         self.replacement = make_replacement(replacement, config.num_sets, config.assoc)
         self.mshrs = MshrFile(config.mshrs)
         self.bypass_pending = MshrFile(capacity=None)
@@ -145,22 +171,60 @@ class Cache:
         # the polling model cannot lose wake-ups
         self._mshr_retry_period = 64
 
+        # geometry constants and event-queue entry points, resolved once
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._hit_latency = config.hit_latency
+        queue = sim.queue
+        self._queue = queue
+        self._schedule = queue.schedule
+        self._schedule_at = queue.schedule_at
+
+        # pre-bound counter handles: no per-access f-strings or dict hashing
+        counter = stats.counter
+        prefix = stat_prefix
+        self._c_accesses = counter(f"{prefix}.accesses")
+        self._c_hits = counter(f"{prefix}.hits")
+        self._c_misses = counter(f"{prefix}.misses")
+        self._c_fills = counter(f"{prefix}.fills")
+        self._c_stall_cycles = counter(f"{prefix}.stall_cycles")
+        self._c_stall_cycles_port = counter(f"{prefix}.stall_cycles_port")
+        self._c_stall_cycles_alloc = counter(f"{prefix}.stall_cycles_alloc")
+        self._c_blocked_set_busy = counter(f"{prefix}.blocked_set_busy")
+        self._c_blocked_mshr_full = counter(f"{prefix}.blocked_mshr_full")
+        self._c_mshr_coalesced = counter(f"{prefix}.mshr_coalesced")
+        self._c_store_coalesced_on_miss = counter(f"{prefix}.store_coalesced_on_miss")
+        self._c_store_hits = counter(f"{prefix}.store_hits")
+        self._c_store_allocates = counter(f"{prefix}.store_allocates")
+        self._c_writethrough_stores = counter(f"{prefix}.writethrough_stores")
+        self._c_self_invalidations = counter(f"{prefix}.self_invalidations")
+        self._c_flush_writebacks = counter(f"{prefix}.flush_writebacks")
+        self._c_eviction_writebacks = counter(f"{prefix}.eviction_writebacks")
+        self._c_clean_evictions = counter(f"{prefix}.clean_evictions")
+        self._c_rinse_writebacks = counter(f"{prefix}.rinse_writebacks")
+        self._c_writebacks = counter(f"{prefix}.writebacks")
+        self._c_bypasses = counter(f"{prefix}.bypasses")
+        self._c_bypass_coalesced = counter(f"{prefix}.bypass_coalesced")
+        self._c_allocation_bypasses = counter(f"{prefix}.allocation_bypasses")
+        self._c_predictor_bypasses = counter(f"{prefix}.predictor_bypasses")
+        self._is_l1 = stat_prefix.startswith("l1")
+
     # ------------------------------------------------------------------
     # public interface
     # ------------------------------------------------------------------
     def access(self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]) -> None:
         """Handle ``request`` arriving at this cache at the current cycle."""
-        self.stats.add(f"{self.prefix}.accesses")
+        self._c_accesses.add()
         if self._is_bypass(request):
             self._bypass_access(request, on_done)
             return
-        now = self.sim.now
+        now = self._queue.now
         grant = self.port.grant(now)
         wait = grant - now
         if wait > 0:
-            self.stats.add(f"{self.prefix}.stall_cycles_port", wait)
-            self.stats.add(f"{self.prefix}.stall_cycles", wait)
-        self.sim.schedule_at(grant, lambda: self._lookup(request, on_done, first_attempt=True))
+            self._c_stall_cycles_port.add(wait)
+            self._c_stall_cycles.add(wait)
+        self._schedule_at(grant, lambda: self._lookup(request, on_done, first_attempt=True))
 
     def invalidate_clean(self) -> int:
         """Self-invalidate every valid (clean) line; returns the count dropped.
@@ -169,14 +233,15 @@ class Cache:
         :meth:`flush_dirty` at release synchronization points.
         """
         dropped = 0
-        for set_index, ways in enumerate(self.sets):
-            for way, line in enumerate(ways):
-                if line.state is LineState.VALID:
+        for ways, tag_map in zip(self.sets, self._tag_to_way):
+            for line in ways:
+                if line.state is _VALID:
                     self._notify_eviction(line)
-                    line.state = LineState.INVALID
+                    line.state = _INVALID
+                    tag_map.pop(line.tag, None)
                     line.tag = -1
                     dropped += 1
-        self.stats.add(f"{self.prefix}.self_invalidations", dropped)
+        self._c_self_invalidations.add(dropped)
         return dropped
 
     def flush_dirty(self, on_complete: Callable[[], None], keep_clean: bool = True) -> int:
@@ -195,10 +260,10 @@ class Cache:
         dirty: list[tuple[int, int]] = []  # (set_index, way)
         for set_index, ways in enumerate(self.sets):
             for way, line in enumerate(ways):
-                if line.state is LineState.DIRTY:
+                if line.state is _DIRTY:
                     dirty.append((set_index, way))
         if not dirty:
-            self.sim.schedule(0, on_complete)
+            self._schedule(0, on_complete)
             return 0
         if self.dbi is not None:
             dirty.sort(key=lambda sw: self.row_of(self._line_address(*sw)))
@@ -214,15 +279,16 @@ class Cache:
             line = self.sets[set_index][way]
             address = self._line_address(set_index, way)
             if keep_clean:
-                line.state = LineState.VALID
+                line.state = _VALID
             else:
                 self._notify_eviction(line)
-                line.state = LineState.INVALID
+                line.state = _INVALID
+                self._tag_to_way[set_index].pop(line.tag, None)
                 line.tag = -1
             if self.dbi is not None:
                 self.dbi.clear(address)
             self._send_writeback(address, writeback_done)
-        self.stats.add(f"{self.prefix}.flush_writebacks", len(dirty))
+        self._c_flush_writebacks.add(len(dirty))
         return len(dirty)
 
     def contents(self) -> dict[int, LineState]:
@@ -230,34 +296,32 @@ class Cache:
         result: dict[int, LineState] = {}
         for set_index, ways in enumerate(self.sets):
             for way, line in enumerate(ways):
-                if line.state is not LineState.INVALID and line.tag >= 0:
+                if line.state is not _INVALID and line.tag >= 0:
                     result[self._line_address(set_index, way)] = line.state
         return result
 
     def dirty_line_count(self) -> int:
         """Number of dirty lines currently held."""
-        return sum(
-            1 for ways in self.sets for line in ways if line.state is LineState.DIRTY
-        )
+        return sum(1 for ways in self.sets for line in ways if line.state is _DIRTY)
 
     # ------------------------------------------------------------------
     # lookup path
     # ------------------------------------------------------------------
     def _is_bypass(self, request: MemoryRequest) -> bool:
         """Decide whether this request uses the bypass path at this level."""
-        if self.prefix.startswith("l1"):
+        if self._is_l1:
             if request.bypass_l1:
                 return True
         elif request.bypass_l2:
             return True
         if self.reuse_predictor is not None and not self._is_sampler_set(request):
             if self.reuse_predictor.should_bypass(request.pc):
-                self.stats.add(f"{self.prefix}.predictor_bypasses")
+                self._c_predictor_bypasses.add()
                 return True
         return False
 
     def _is_sampler_set(self, request: MemoryRequest) -> bool:
-        set_index = self.config.set_index(request.address)
+        set_index = (request.address // self._line_bytes) % self._num_sets
         return set_index % self._sampler_stride == 0
 
     def _lookup(
@@ -266,15 +330,16 @@ class Cache:
         on_done: Callable[[MemoryRequest], None],
         first_attempt: bool,
     ) -> None:
-        now = self.sim.now
-        line_address = request.line_address(self.config.line_bytes)
-        set_index = self.config.set_index(request.address)
-        ways = self.sets[set_index]
-        tag = line_address
+        address = request.address
+        line_address = address - (address % self._line_bytes)
+        set_index = (address // self._line_bytes) % self._num_sets
 
-        # hit?
-        for way, line in enumerate(ways):
-            if line.holds_data and line.tag == tag:
+        # hit?  (the tag map also holds PENDING lines, which do not hit)
+        way = self._tag_to_way[set_index].get(line_address)
+        if way is not None:
+            line = self.sets[set_index][way]
+            state = line.state
+            if state is _VALID or state is _DIRTY:
                 self._on_hit(request, set_index, way, on_done)
                 return
 
@@ -284,20 +349,20 @@ class Cache:
             if request.is_store and self.config.writeback:
                 # the store's data will be merged when the fill returns
                 entry.add_waiter(request)
-                self.stats.add(f"{self.prefix}.store_coalesced_on_miss")
+                self._c_store_coalesced_on_miss.add()
             else:
                 self.mshrs.coalesce(line_address, request)
-            self.stats.add(f"{self.prefix}.mshr_coalesced")
+            self._c_mshr_coalesced.add()
             self._record_waiter_callback(request, on_done)
             return
 
         # miss: need an MSHR (loads) and a victim way
         if first_attempt:
-            self.stats.add(f"{self.prefix}.misses")
+            self._c_misses.add()
         if request.is_store and self.config.writeback:
-            self._store_allocate(request, set_index, on_done, first_attempt)
+            self._store_allocate(request, set_index, line_address, on_done)
             return
-        self._load_miss(request, set_index, line_address, on_done, first_attempt)
+        self._load_miss(request, set_index, line_address, on_done)
 
     def _on_hit(
         self,
@@ -311,24 +376,24 @@ class Cache:
         if self.reuse_predictor is not None:
             self.reuse_predictor.train_reuse(line.inserted_pc)
             self.reuse_predictor.train_reuse(request.pc)
-        self.replacement.on_access(set_index, way, self.sim.now)
-        self.stats.add(f"{self.prefix}.hits")
+        self.replacement.on_access(set_index, way, self._queue.now)
+        self._c_hits.add()
         if request.is_store:
             if self.config.writeback:
-                line.state = LineState.DIRTY
+                line.state = _DIRTY
                 if self.dbi is not None:
                     self.dbi.mark_dirty(self._line_address(set_index, way))
-                self.stats.add(f"{self.prefix}.store_hits")
+                self._c_store_hits.add()
             else:
                 # write-through cache: update and forward the write downstream
-                self.stats.add(f"{self.prefix}.writethrough_stores")
-                self.sim.schedule(
-                    self.config.hit_latency,
+                self._c_writethrough_stores.add()
+                self._schedule(
+                    self._hit_latency,
                     lambda: self.downstream(request, lambda r: None),
                 )
-                self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+                self._schedule(self._hit_latency, lambda: on_done(request))
                 return
-        self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+        self._schedule(self._hit_latency, lambda: on_done(request))
 
     def _load_miss(
         self,
@@ -336,7 +401,6 @@ class Cache:
         set_index: int,
         line_address: int,
         on_done: Callable[[MemoryRequest], None],
-        first_attempt: bool,
     ) -> None:
         victim_way = self._find_victim(set_index)
         blocked_reason = None
@@ -348,7 +412,7 @@ class Cache:
         if blocked_reason is not None:
             if self.allocation_bypass:
                 request.converted_bypass = True
-                self.stats.add(f"{self.prefix}.allocation_bypasses")
+                self._c_allocation_bypasses.add()
                 self._bypass_access(request, on_done)
                 return
             self._block(request, set_index, blocked_reason, on_done)
@@ -356,18 +420,21 @@ class Cache:
 
         self._evict(set_index, victim_way)
         victim = self.sets[set_index][victim_way]
-        victim.state = LineState.PENDING
+        victim.state = _PENDING
         victim.tag = line_address
         victim.inserted_pc = request.pc
         victim.reused = False
-        entry = self.mshrs.allocate(line_address, request, self.sim.now, allocate_way=victim_way)
+        self._tag_to_way[set_index][line_address] = victim_way
+        self.mshrs.allocate(
+            line_address, request, self._queue.now, allocate_way=victim_way
+        )
         self._record_waiter_callback(request, on_done)
         if self.reuse_predictor is not None:
             self.reuse_predictor.record_insertion(request.pc)
 
         miss_request = request
-        self.sim.schedule(
-            self.config.hit_latency,
+        self._schedule(
+            self._hit_latency,
             lambda: self.downstream(
                 miss_request, lambda resp: self._fill(line_address, set_index, victim_way)
             ),
@@ -377,32 +444,33 @@ class Cache:
         self,
         request: MemoryRequest,
         set_index: int,
+        line_address: int,
         on_done: Callable[[MemoryRequest], None],
-        first_attempt: bool,
     ) -> None:
         """Write-combining store miss: allocate a dirty line without fetching."""
         victim_way = self._find_victim(set_index)
         if victim_way is None:
             if self.allocation_bypass:
                 request.converted_bypass = True
-                self.stats.add(f"{self.prefix}.allocation_bypasses")
+                self._c_allocation_bypasses.add()
                 self._bypass_access(request, on_done)
                 return
             self._block(request, set_index, "set_busy", on_done)
             return
         self._evict(set_index, victim_way)
         line = self.sets[set_index][victim_way]
-        line.state = LineState.DIRTY
-        line.tag = request.line_address(self.config.line_bytes)
+        line.state = _DIRTY
+        line.tag = line_address
         line.inserted_pc = request.pc
         line.reused = False
-        self.replacement.on_fill(set_index, victim_way, self.sim.now)
+        self._tag_to_way[set_index][line_address] = victim_way
+        self.replacement.on_fill(set_index, victim_way, self._queue.now)
         if self.dbi is not None:
-            self.dbi.mark_dirty(line.tag)
+            self.dbi.mark_dirty(line_address)
         if self.reuse_predictor is not None:
             self.reuse_predictor.record_insertion(request.pc)
-        self.stats.add(f"{self.prefix}.store_allocates")
-        self.sim.schedule(self.config.hit_latency, lambda: on_done(request))
+        self._c_store_allocates.add()
+        self._schedule(self._hit_latency, lambda: on_done(request))
 
     # ------------------------------------------------------------------
     # blocking / waking
@@ -423,21 +491,24 @@ class Cache:
         or coalesce on retry), so event-driven wake-ups can strand waiters;
         polling cannot.
         """
-        blocked_at = self.sim.now
-        self.stats.add(f"{self.prefix}.blocked_{reason}")
+        blocked_at = self._queue.now
+        if reason == "set_busy":
+            self._c_blocked_set_busy.add()
+        else:
+            self._c_blocked_mshr_full.add()
 
         def account(wake_time: int) -> None:
             stall = wake_time - blocked_at
             if stall > 0:
-                self.stats.add(f"{self.prefix}.stall_cycles_alloc", stall)
-                self.stats.add(f"{self.prefix}.stall_cycles", stall)
+                self._c_stall_cycles_alloc.add(stall)
+                self._c_stall_cycles.add(stall)
 
         if reason == "set_busy":
 
             def resume(wake_time: int) -> None:
                 account(wake_time)
                 grant = self.port.grant(wake_time)
-                self.sim.schedule_at(
+                self._schedule_at(
                     grant, lambda: self._lookup(request, on_done, first_attempt=False)
                 )
 
@@ -445,17 +516,17 @@ class Cache:
             return
 
         def retry() -> None:
-            now = self.sim.now
+            now = self._queue.now
             if self.mshrs.full:
-                self.sim.schedule(self._mshr_retry_period, retry)
+                self._schedule(self._mshr_retry_period, retry)
                 return
             account(now)
             grant = self.port.grant(now)
-            self.sim.schedule_at(
+            self._schedule_at(
                 grant, lambda: self._lookup(request, on_done, first_attempt=False)
             )
 
-        self.sim.schedule(self._mshr_retry_period, retry)
+        self._schedule(self._mshr_retry_period, retry)
 
     def _set_wait_queue(self, set_index: int) -> WaitQueue:
         queue = self._set_waiters.get(set_index)
@@ -467,63 +538,74 @@ class Cache:
     def _wake_after_fill(self, set_index: int) -> None:
         queue = self._set_waiters.get(set_index)
         if queue:
-            queue.wake_all(self.sim.now)
+            queue.wake_all(self._queue.now)
 
     # ------------------------------------------------------------------
     # fills, evictions, writebacks
     # ------------------------------------------------------------------
     def _fill(self, line_address: int, set_index: int, way: int) -> None:
         """Downstream response arrived: install the line, answer waiters."""
-        now = self.sim.now
+        now = self._queue.now
         entry = self.mshrs.release(line_address)
         line = self.sets[set_index][way]
         requests = entry.all_requests
         any_store = any(r.is_store for r in requests)
-        line.state = (
-            LineState.DIRTY if (any_store and self.config.writeback) else LineState.VALID
-        )
+        line.state = _DIRTY if (any_store and self.config.writeback) else _VALID
         line.tag = line_address
         self.replacement.on_fill(set_index, way, now)
-        if line.state is LineState.DIRTY and self.dbi is not None:
+        if line.state is _DIRTY and self.dbi is not None:
             self.dbi.mark_dirty(line_address)
         if len(requests) > 1:
             line.reused = True
             if self.reuse_predictor is not None:
                 self.reuse_predictor.train_reuse(line.inserted_pc)
-        self.stats.add(f"{self.prefix}.fills")
+        self._c_fills.add()
+        schedule = self._schedule
         for req in requests:
             callback = self._pop_waiter_callback(req)
             if callback is not None:
-                self.sim.schedule(0, lambda r=req, cb=callback: cb(r))
+                schedule(0, lambda r=req, cb=callback: cb(r))
         self._wake_after_fill(set_index)
 
     def _find_victim(self, set_index: int) -> Optional[int]:
-        """Pick a victim way, or None if every way is busy (pending fill)."""
+        """Pick a victim way, or None if every way is busy (pending fill).
+
+        Single pass, no intermediate lists: the first invalid way wins
+        immediately; otherwise the non-busy ways are collected lazily for
+        the replacement policy.
+        """
         ways = self.sets[set_index]
-        invalid = [w for w, line in enumerate(ways) if line.state is LineState.INVALID]
-        if invalid:
-            return invalid[0]
-        candidates = [w for w, line in enumerate(ways) if not line.busy]
-        if not candidates:
+        candidates: Optional[list[int]] = None
+        for way, line in enumerate(ways):
+            state = line.state
+            if state is _INVALID:
+                return way
+            if state is not _PENDING:
+                if candidates is None:
+                    candidates = [way]
+                else:
+                    candidates.append(way)
+        if candidates is None:
             return None
         return self.replacement.select_victim(set_index, candidates)
 
     def _evict(self, set_index: int, way: int) -> None:
         """Evict the current occupant of ``way`` (issuing writebacks as needed)."""
         line = self.sets[set_index][way]
-        if line.state is LineState.INVALID:
+        if line.state is _INVALID:
             return
         address = self._line_address(set_index, way)
         self._notify_eviction(line)
-        if line.state is LineState.DIRTY:
-            self.stats.add(f"{self.prefix}.eviction_writebacks")
+        if line.state is _DIRTY:
+            self._c_eviction_writebacks.add()
             if self.dbi is not None:
                 self._rinse_row(address)
             else:
                 self._send_writeback(address, lambda r: None)
         else:
-            self.stats.add(f"{self.prefix}.clean_evictions")
-        line.state = LineState.INVALID
+            self._c_clean_evictions.add()
+        line.state = _INVALID
+        self._tag_to_way[set_index].pop(line.tag, None)
         line.tag = -1
 
     def _rinse_row(self, evicted_address: int) -> None:
@@ -541,20 +623,23 @@ class Cache:
                 continue
             set_index, way = located
             line = self.sets[set_index][way]
-            if line.state is not LineState.DIRTY:
+            if line.state is not _DIRTY:
                 self.dbi.clear(address)
                 continue
-            line.state = LineState.VALID  # data stays, now clean
+            line.state = _VALID  # data stays, now clean
             self.dbi.clear(address)
-            self.stats.add(f"{self.prefix}.rinse_writebacks")
+            self._c_rinse_writebacks.add()
             self._send_writeback(address, lambda r: None)
         self._send_writeback(evicted_address, lambda r: None)
 
     def _locate(self, line_address: int) -> Optional[tuple[int, int]]:
-        set_index = self.config.set_index(line_address)
-        for way, line in enumerate(self.sets[set_index]):
-            if line.holds_data and line.tag == line_address:
-                return set_index, way
+        set_index = (line_address // self._line_bytes) % self._num_sets
+        way = self._tag_to_way[set_index].get(line_address)
+        if way is None:
+            return None
+        state = self.sets[set_index][way].state
+        if state is _VALID or state is _DIRTY:
+            return set_index, way
         return None
 
     def _send_writeback(self, address: int, on_done: Callable[[MemoryRequest], None]) -> None:
@@ -562,15 +647,15 @@ class Cache:
             access=AccessType.STORE,
             address=address,
             pc=0,
-            issue_cycle=self.sim.now,
+            issue_cycle=self._queue.now,
             bypass_l1=True,
             bypass_l2=True,
         )
-        self.stats.add(f"{self.prefix}.writebacks")
+        self._c_writebacks.add()
         self.downstream(writeback, on_done)
 
     def _notify_eviction(self, line: CacheLine) -> None:
-        if self.reuse_predictor is not None and line.state is not LineState.INVALID:
+        if self.reuse_predictor is not None and line.state is not _INVALID:
             self.reuse_predictor.train_eviction(line.inserted_pc, line.reused)
 
     # ------------------------------------------------------------------
@@ -580,31 +665,33 @@ class Cache:
         self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]
     ) -> None:
         """Forward without allocation, coalescing pending bypassed loads."""
-        self.stats.add(f"{self.prefix}.bypasses")
-        line_address = request.line_address(self.config.line_bytes)
+        self._c_bypasses.add()
+        address = request.address
+        line_address = address - (address % self._line_bytes)
         if request.is_load:
             pending = self.bypass_pending.lookup(line_address)
             if pending is not None:
                 self.bypass_pending.coalesce(line_address, request)
                 self._record_waiter_callback(request, on_done)
-                self.stats.add(f"{self.prefix}.bypass_coalesced")
+                self._c_bypass_coalesced.add()
                 return
-            self.bypass_pending.allocate(line_address, request, self.sim.now)
+            self.bypass_pending.allocate(line_address, request, self._queue.now)
             self._record_waiter_callback(request, on_done)
-            self.sim.schedule(
+            self._schedule(
                 BYPASS_LATENCY,
                 lambda: self.downstream(request, lambda resp: self._bypass_fill(line_address)),
             )
             return
         # bypassed store: fire and forward; completion when downstream accepts
-        self.sim.schedule(BYPASS_LATENCY, lambda: self.downstream(request, on_done))
+        self._schedule(BYPASS_LATENCY, lambda: self.downstream(request, on_done))
 
     def _bypass_fill(self, line_address: int) -> None:
         entry = self.bypass_pending.release(line_address)
+        schedule = self._schedule
         for req in entry.all_requests:
             callback = self._pop_waiter_callback(req)
             if callback is not None:
-                self.sim.schedule(0, lambda r=req, cb=callback: cb(r))
+                schedule(0, lambda r=req, cb=callback: cb(r))
 
     # ------------------------------------------------------------------
     # waiter-callback bookkeeping
@@ -614,14 +701,15 @@ class Cache:
     ) -> None:
         # completion callbacks are stored on the request itself so coalesced
         # requests each get their own response
-        if getattr(request, "_cache_callbacks", None) is None:
-            request._cache_callbacks = {}  # type: ignore[attr-defined]
-        request._cache_callbacks[self.name] = on_done  # type: ignore[attr-defined]
+        callbacks = request._cache_callbacks
+        if callbacks is None:
+            callbacks = request._cache_callbacks = {}
+        callbacks[self.name] = on_done
 
     def _pop_waiter_callback(
         self, request: MemoryRequest
     ) -> Optional[Callable[[MemoryRequest], None]]:
-        callbacks = getattr(request, "_cache_callbacks", None)
+        callbacks = request._cache_callbacks
         if not callbacks:
             return None
         return callbacks.pop(self.name, None)

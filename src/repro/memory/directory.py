@@ -41,6 +41,11 @@ class Directory:
         self.dram = dram
         self.dram_latency = dram_latency
         self.port = ThroughputResource("directory.port", cycles_per_grant=1.0 / lookups_per_cycle)
+        self._c_lookups = stats.counter("directory.lookups")
+        self._c_read_requests = stats.counter("directory.read_requests")
+        self._c_write_requests = stats.counter("directory.write_requests")
+        self._queue = sim.queue
+        self._schedule_at = sim.queue.schedule_at
 
     def access(self, request: MemoryRequest, on_done: Callable[[MemoryRequest], None]) -> None:
         """Look up the line and forward the access to DRAM.
@@ -50,13 +55,13 @@ class Directory:
         target DRAM bank queue -- the write itself still occupies DRAM
         bandwidth, which is how the write-through policies pressure memory.
         """
-        now = self.sim.now
+        now = self._queue.now
         grant = self.port.grant(now)
-        self.stats.add("directory.lookups")
+        self._c_lookups.add()
         if request.is_load:
-            self.stats.add("directory.read_requests")
+            self._c_read_requests.add()
         else:
-            self.stats.add("directory.write_requests")
+            self._c_write_requests.add()
 
         def forward() -> None:
             if request.is_load:
@@ -70,4 +75,4 @@ class Directory:
                     on_accepted=lambda: on_done(request),
                 )
 
-        self.sim.schedule_at(grant + self.LOOKUP_LATENCY + self.dram_latency, forward)
+        self._schedule_at(grant + self.LOOKUP_LATENCY + self.dram_latency, forward)

@@ -32,7 +32,7 @@ __all__ = ["DramBank", "DramChannel", "DramSystem"]
 FR_FCFS_STARVATION_LIMIT = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueuedAccess:
     request: MemoryRequest
     row: int
@@ -61,6 +61,21 @@ class DramBank:
         self.busy = False
         self._hits_in_a_row = 0
         self.full_waiters = WaitQueue(f"{name}.full")
+        # pre-bound handles: the counters are global ("dram.*"), so every
+        # bank shares the same cells and they aggregate exactly as before
+        counter = stats.counter
+        self._c_enqueued = counter("dram.enqueued")
+        self._c_row_hits = counter("dram.row_hits")
+        self._c_row_misses = counter("dram.row_misses")
+        self._c_row_conflicts = counter("dram.row_conflicts")
+        self._c_reads = counter("dram.reads")
+        self._c_writes = counter("dram.writes")
+        self._c_accesses = counter("dram.accesses")
+        self._h_queue_delay = stats.histogram_handle("dram.queue_delay")
+        queue = sim.queue
+        self._queue = queue
+        self._schedule = queue.schedule
+        self._schedule_at = queue.schedule_at
 
     @property
     def queue_full(self) -> bool:
@@ -71,9 +86,9 @@ class DramBank:
     ) -> None:
         """Add an access to the bank queue and kick the scheduler."""
         self.queue.append(
-            _QueuedAccess(request=request, row=row, arrival=self.sim.now, on_done=on_done)
+            _QueuedAccess(request=request, row=row, arrival=self._queue.now, on_done=on_done)
         )
-        self.stats.add("dram.enqueued")
+        self._c_enqueued.add()
         if not self.busy:
             self._schedule_service()
 
@@ -81,7 +96,7 @@ class DramBank:
         if self.busy or not self.queue:
             return
         self.busy = True
-        self.sim.schedule(0, self._service_next)
+        self._schedule(0, self._service_next)
 
     def _select(self) -> _QueuedAccess:
         """FR-FCFS: prefer a row hit unless the oldest request is starving."""
@@ -102,28 +117,28 @@ class DramBank:
             return
         access = self._select()
         self.queue.remove(access)
-        now = self.sim.now
+        now = self._queue.now
 
         if self.open_row is None:
             latency = self.config.row_miss_cycles
-            self.stats.add("dram.row_misses")
+            self._c_row_misses.add()
             self._hits_in_a_row = 0
         elif self.open_row == access.row:
             latency = self.config.row_hit_cycles
-            self.stats.add("dram.row_hits")
+            self._c_row_hits.add()
             self._hits_in_a_row += 1
         else:
             latency = self.config.row_conflict_cycles
-            self.stats.add("dram.row_conflicts")
+            self._c_row_conflicts.add()
             self._hits_in_a_row = 0
         self.open_row = access.row
 
         if access.request.is_load:
-            self.stats.add("dram.reads")
+            self._c_reads.add()
         else:
-            self.stats.add("dram.writes")
-        self.stats.add("dram.accesses")
-        self.stats.observe("dram.queue_delay", now - access.arrival)
+            self._c_writes.add()
+        self._c_accesses.add()
+        self._h_queue_delay[now - access.arrival] += 1
 
         # the data transfer occupies the shared channel bus after the array access
         bus_start = self.data_bus.grant(now + latency)
@@ -132,10 +147,10 @@ class DramBank:
         def done() -> None:
             access.on_done(access.request)
             # space freed in the queue: wake a blocked producer, then continue
-            self.full_waiters.wake_one(self.sim.now)
+            self.full_waiters.wake_one(self._queue.now)
             self._service_next()
 
-        self.sim.schedule_at(finish, done)
+        self._schedule_at(finish, done)
 
     def pending(self) -> int:
         return len(self.queue) + (1 if self.busy else 0)
@@ -155,6 +170,8 @@ class DramChannel:
         self.config = config
         self.sim = sim
         self.stats = stats
+        self._queue = sim.queue
+        self._c_queue_full_stalls = stats.counter("dram.queue_full_stalls")
         self.data_bus = ThroughputResource(
             f"dram.ch{channel_id}.bus", cycles_per_grant=config.burst_cycles
         )
@@ -179,12 +196,12 @@ class DramChannel:
         """
         target = self.banks[bank]
         if target.queue_full:
-            self.stats.add("dram.queue_full_stalls")
+            self._c_queue_full_stalls.add()
 
             def retry(_wake_time: int) -> None:
                 self.access(request, bank, row, on_done, on_accepted)
 
-            target.full_waiters.wait(self.sim.now, retry)
+            target.full_waiters.wait(self._queue.now, retry)
             return
         if on_accepted is not None:
             on_accepted()

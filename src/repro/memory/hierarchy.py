@@ -45,6 +45,10 @@ class MemoryHierarchy:
         self.sim = sim
         self.stats = stats
         self.policy_engine = policy_engine
+        self._c_mem_requests = stats.counter("gpu.mem_requests")
+        self._c_load_requests = stats.counter("gpu.load_requests")
+        self._c_store_requests = stats.counter("gpu.store_requests")
+        self._c_kernel_boundaries = stats.counter("gpu.kernel_boundaries")
 
         self.dram = DramSystem(config.dram, sim, stats, line_bytes=config.l2.line_bytes)
         self.directory = Directory(
@@ -125,11 +129,11 @@ class MemoryHierarchy:
         if not (0 <= cu_id < len(self.l1s)):
             raise IndexError(f"cu_id {cu_id} out of range (have {len(self.l1s)} CUs)")
         self.policy_engine.annotate(request)
-        self.stats.add("gpu.mem_requests")
+        self._c_mem_requests.add()
         if request.is_load:
-            self.stats.add("gpu.load_requests")
+            self._c_load_requests.add()
         else:
-            self.stats.add("gpu.store_requests")
+            self._c_store_requests.add()
         self.l1s[cu_id].access(request, on_done)
 
     def kernel_boundary(self, on_complete: Callable[[], None]) -> None:
@@ -147,7 +151,7 @@ class MemoryHierarchy:
         write-through policies the flush is a no-op and ``on_complete``
         fires on the next cycle.
         """
-        self.stats.add("gpu.kernel_boundaries")
+        self._c_kernel_boundaries.add()
         for l1 in self.l1s:
             l1.invalidate_clean()
         self.l2.flush_dirty(on_complete, keep_clean=True)

@@ -39,6 +39,11 @@ class Link:
         self.bandwidth = ThroughputResource(
             f"{name}.bw", cycles_per_grant=1.0 / requests_per_cycle
         )
+        # per-send hot path: pre-bound counters and queue entry points
+        self._c_transfers = stats.counter(f"link.{name}.transfers")
+        self._c_contention_cycles = stats.counter(f"link.{name}.contention_cycles")
+        self._queue = sim.queue
+        self._schedule_at = sim.queue.schedule_at
 
     def send(
         self,
@@ -46,10 +51,10 @@ class Link:
         deliver: Callable[[MemoryRequest], None],
     ) -> None:
         """Deliver ``request`` to the far side after latency + any bandwidth wait."""
-        now = self.sim.now
+        now = self._queue.now
         grant = self.bandwidth.grant(now)
-        self.stats.add(f"link.{self.name}.transfers")
+        self._c_transfers.add()
         wait = grant - now
         if wait > 0:
-            self.stats.add(f"link.{self.name}.contention_cycles", wait)
-        self.sim.schedule_at(grant + self.latency, lambda: deliver(request))
+            self._c_contention_cycles.add(wait)
+        self._schedule_at(grant + self.latency, lambda: deliver(request))

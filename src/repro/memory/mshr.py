@@ -22,7 +22,7 @@ from repro.memory.request import MemoryRequest
 __all__ = ["MshrEntry", "MshrFile"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """Bookkeeping for one outstanding line fill."""
 
@@ -58,6 +58,7 @@ class MshrFile:
         self.peak_occupancy = 0
         self.total_allocations = 0
         self.total_coalesced = 0
+        self.lookup = self._entries.get
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,9 +70,9 @@ class MshrFile:
     def full(self) -> bool:
         return self.capacity is not None and len(self._entries) >= self.capacity
 
-    def lookup(self, line_address: int) -> Optional[MshrEntry]:
-        """Return the entry for ``line_address`` if a miss is outstanding."""
-        return self._entries.get(line_address)
+    #: ``lookup(line_address)`` returns the outstanding entry or ``None``;
+    #: bound directly to ``dict.get`` in ``__init__`` (hot path)
+    lookup: Callable[[int], Optional[MshrEntry]]
 
     def allocate(
         self,

@@ -5,6 +5,11 @@ cache-line-sized access produced by the per-wavefront coalescer.  Requests
 carry the issuing PC (needed by the PC-based reuse predictor), the issuing
 CU and wavefront (needed to route the response), and the kernel id (needed
 to attribute accesses to synchronization epochs).
+
+Requests are allocated once per line access and touched by every level of
+the hierarchy, so the class is slotted (no per-instance ``__dict__``) and
+the load/store flags are computed once at construction instead of going
+through the :class:`AccessType` enum on every check.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ class AccessType(enum.Enum):
         return self is AccessType.STORE
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single cache-line access travelling through the hierarchy.
 
@@ -55,6 +60,9 @@ class MemoryRequest:
         on_complete: callback invoked exactly once when the data returns to
             the CU (loads) or the store is accepted by its destination.
         complete_cycle: filled in when the request completes.
+        is_load / is_store: derived from ``access`` at construction time so
+            hot paths branch on a plain attribute instead of two property
+            hops through the enum.
     """
 
     access: AccessType
@@ -71,20 +79,22 @@ class MemoryRequest:
     on_complete: Optional[Callable[["MemoryRequest"], None]] = None
     complete_cycle: Optional[int] = None
     req_id: int = field(default_factory=lambda: next(_request_ids))
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    #: per-cache completion callbacks keyed by cache name (coalesced
+    #: requests each get their own response); a real slot rather than an
+    #: ad-hoc attribute so the class stays ``__dict__``-free
+    _cache_callbacks: Optional[dict[str, Callable[["MemoryRequest"], None]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.address < 0:
             raise ValueError(f"address must be non-negative, got {self.address}")
         if self.size <= 0:
             raise ValueError(f"size must be positive, got {self.size}")
-
-    @property
-    def is_load(self) -> bool:
-        return self.access.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.access.is_store
+        self.is_load = self.access is AccessType.LOAD
+        self.is_store = not self.is_load
 
     def line_address(self, line_bytes: int) -> int:
         """Address of the cache line containing this access."""

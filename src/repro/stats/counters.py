@@ -1,9 +1,21 @@
 """Shared counter store for all timing components.
 
-The collector is a thin wrapper around a ``defaultdict(int)`` with a few
-conveniences: namespaced counter names (``"l1.hits"``, ``"dram.row_hits"``),
-histogram support for latency distributions, and snapshot/diff helpers used
+The collector keeps namespaced integer counters (``"l1.hits"``,
+``"dram.row_hits"``) and simple histograms, with snapshot/diff helpers used
 by per-kernel accounting.
+
+Hot-path components do not look counters up by name on every event.
+Instead they resolve a :class:`Counter` handle once (usually in their
+``__init__``) via :meth:`StatsCollector.counter` and increment the handle
+directly -- no per-access string formatting, no dict hashing.  A handle is
+shared storage: every component that resolves the same name gets the same
+:class:`Counter` object, so per-CU L1 caches still aggregate into one
+``"l1.*"`` namespace exactly as before.
+
+Resolving a handle does *not* make the counter visible: a counter appears
+in :meth:`StatsCollector.counters` (and therefore in run reports) only
+once it has actually been written, which keeps report contents identical
+to the old lazily-created ``defaultdict`` behaviour.
 """
 
 from __future__ import annotations
@@ -11,44 +23,102 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Mapping
 
-__all__ = ["StatsCollector"]
+__all__ = ["Counter", "StatsCollector"]
+
+
+class Counter:
+    """Pre-bound mutable handle to one named counter.
+
+    ``add`` is the hot-path operation: one attribute add and one flag
+    store, no name hashing.  ``touched`` records whether the counter was
+    ever written -- resolved-but-never-written counters are excluded from
+    collector views so pre-registering handles cannot change reports.
+    """
+
+    __slots__ = ("name", "value", "touched")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.touched = False
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (may be negative)."""
+        self.value += amount
+        self.touched = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
 
 
 class StatsCollector:
     """Accumulates named integer counters and simple histograms."""
 
     def __init__(self) -> None:
-        self._counters: defaultdict[str, int] = defaultdict(int)
+        self._counters: dict[str, Counter] = {}
         self._histograms: defaultdict[str, defaultdict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
 
     # -- counters ---------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Resolve the mutable handle for counter ``name`` (creating it).
+
+        The returned object is shared: all callers asking for the same name
+        increment the same cell.  Components resolve handles once and keep
+        them, moving the name lookup out of the simulation hot path.
+        """
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
+
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (may be negative)."""
-        self._counters[name] += amount
+        self.counter(name).add(amount)
 
     def set(self, name: str, value: int) -> None:
         """Set counter ``name`` to an absolute value."""
-        self._counters[name] = value
+        handle = self.counter(name)
+        handle.value = value
+        handle.touched = True
 
     def get(self, name: str, default: int = 0) -> int:
-        """Read a counter, returning ``default`` if it was never touched."""
-        return self._counters.get(name, default)
+        """Read a counter, returning ``default`` if it was never written."""
+        handle = self._counters.get(name)
+        if handle is None or not handle.touched:
+            return default
+        return handle.value
 
     def counters(self) -> dict[str, int]:
-        """A copy of all counters."""
-        return dict(self._counters)
+        """A copy of all written counters."""
+        return {
+            name: handle.value
+            for name, handle in self._counters.items()
+            if handle.touched
+        }
 
     def matching(self, prefix: str) -> dict[str, int]:
-        """All counters whose name starts with ``prefix``."""
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        """All written counters whose name starts with ``prefix``."""
+        return {
+            name: handle.value
+            for name, handle in self._counters.items()
+            if handle.touched and name.startswith(prefix)
+        }
 
     def sum(self, names: Iterable[str]) -> int:
         """Sum of several counters."""
         return sum(self.get(name) for name in names)
 
     # -- histograms -------------------------------------------------------
+    def histogram_handle(self, name: str) -> defaultdict[int, int]:
+        """Resolve the mutable value->count mapping for histogram ``name``.
+
+        Hot-path observers keep the handle and do ``handle[value] += 1``
+        directly, skipping the outer name lookup of :meth:`observe`.
+        """
+        return self._histograms[name]
+
     def observe(self, name: str, value: int) -> None:
         """Add one observation to histogram ``name``."""
         self._histograms[name][value] += 1
@@ -69,20 +139,26 @@ class StatsCollector:
     # -- snapshots ---------------------------------------------------------
     def snapshot(self) -> dict[str, int]:
         """Point-in-time copy of the counters (used for per-kernel deltas)."""
-        return dict(self._counters)
+        return self.counters()
 
     def delta_since(self, snapshot: Mapping[str, int]) -> dict[str, int]:
         """Difference between the current counters and ``snapshot``."""
-        keys = set(self._counters) | set(snapshot)
-        return {k: self._counters.get(k, 0) - snapshot.get(k, 0) for k in keys}
+        current = self.counters()
+        keys = set(current) | set(snapshot)
+        return {k: current.get(k, 0) - snapshot.get(k, 0) for k in keys}
 
     def merge(self, other: "StatsCollector") -> None:
         """Fold another collector's counters and histograms into this one."""
-        for name, value in other._counters.items():
-            self._counters[name] += value
+        for name, theirs in other._counters.items():
+            if not theirs.touched:
+                continue
+            ours = self.counter(name)
+            ours.value += theirs.value
+            ours.touched = True
         for name, hist in other._histograms.items():
+            mine = self._histograms[name]
             for value, count in hist.items():
-                self._histograms[name][value] += count
+                mine[value] += count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StatsCollector({len(self._counters)} counters)"

@@ -374,3 +374,45 @@ class TestOptimizationHooks:
                 stat_prefix="l1",
                 dirty_block_index=DirtyBlockIndex(row_of=lambda a: 0),
             )
+
+
+class TestIndexedGeometry:
+    """The cache caches its geometry and inlines the set-index arithmetic.
+
+    The inline math in ``Cache._lookup``/``_locate``/``_is_sampler_set``/
+    ``_bypass_access`` must stay exactly equivalent to the canonical
+    ``CacheConfig.set_index``/``line_address`` helpers -- if the indexing
+    scheme ever changes (e.g. hashed set indexing), this test points at the
+    divergence instead of letting hit/miss behaviour drift silently.
+    """
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            small_config(),
+            small_config(size_bytes=16 * 1024, assoc=16),
+            small_config(size_bytes=64, assoc=4),  # single-set edge case
+        ],
+        ids=["small", "16way", "single_set"],
+    )
+    def test_inline_index_math_matches_config_helpers(self, config):
+        sim, stats = Simulator(), StatsCollector()
+        cache, _ = build_cache(sim, stats, config=config)
+        addresses = [0, 1, 63, 64, 65, 4095, 4096, 12345, 2**20 + 17]
+        for address in addresses:
+            inline_set = (address // cache._line_bytes) % cache._num_sets
+            inline_line = address - (address % cache._line_bytes)
+            assert inline_set == config.set_index(address), hex(address)
+            assert inline_line == config.line_address(address), hex(address)
+        assert cache._num_sets == config.num_sets
+        assert cache._line_bytes == config.line_bytes
+
+    def test_tag_map_tracks_installed_lines(self, sim, stats):
+        cache, _ = build_cache(sim, stats)
+        request = load(0x1000)
+        run_access(sim, cache, request)
+        sim.run()
+        set_index = cache.config.set_index(0x1000)
+        assert cache._tag_to_way[set_index].get(0x1000) is not None
+        cache.invalidate_clean()
+        assert 0x1000 not in cache._tag_to_way[set_index]

@@ -80,7 +80,7 @@ class TestExecution:
     def test_cancelled_events_are_skipped(self):
         queue = EventQueue()
         fired = []
-        event = queue.schedule(10, lambda: fired.append("cancelled"))
+        event = queue.schedule_cancellable(10, lambda: fired.append("cancelled"))
         queue.schedule(20, lambda: fired.append("kept"))
         event.cancel()
         queue.run()
@@ -109,8 +109,93 @@ class TestExecution:
 
     def test_executed_counts_only_real_events(self):
         queue = EventQueue()
-        event = queue.schedule(1, lambda: None)
+        event = queue.schedule_cancellable(1, lambda: None)
         event.cancel()
         queue.schedule(2, lambda: None)
         queue.run()
         assert queue.executed == 1
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_cancellable(1, lambda: fired.append("a"))
+        event.cancel()
+        event.cancel()
+        queue.schedule(2, lambda: fired.append("b"))
+        queue.run()
+        assert fired == ["b"]
+        assert queue.executed == 1
+
+    def test_cancel_after_fire_does_not_skip_later_events(self):
+        # cancelling an already-fired event must not poison the seq set
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_cancellable(1, lambda: fired.append("a"))
+        queue.run()
+        event.cancel()
+        queue.schedule(1, lambda: fired.append("b"))
+        queue.run()
+        assert fired == ["a", "b"]
+        # the side set must not leak stale sequence numbers either
+        assert queue._cancelled == set()
+
+    def test_drained_queue_clears_cancelled_side_set(self):
+        queue = EventQueue()
+        fired = []
+        # same-cycle cancel-after-fire: the guard in cancel() cannot tell,
+        # so the drain path must clean the stale entry up
+        event = queue.schedule_cancellable(0, lambda: fired.append("a"))
+        queue.run()
+        event.cancel()
+        assert fired == ["a"]
+        queue.schedule(1, lambda: fired.append("b"))
+        queue.run()
+        assert fired == ["a", "b"]
+        assert queue._cancelled == set()
+
+    def test_cancellable_events_keep_tie_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append("plain"))
+        queue.schedule_cancellable(5, lambda: order.append("cancellable"))
+        queue.run()
+        assert order == ["plain", "cancellable"]
+
+    def test_step_skips_cancelled_events(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_cancellable(1, lambda: fired.append("a"))
+        queue.schedule(2, lambda: fired.append("b"))
+        event.cancel()
+        assert queue.step() is True
+        assert fired == ["b"]
+        assert queue.step() is False
+
+
+class TestFastPath:
+    def test_schedule_is_fire_and_forget(self):
+        queue = EventQueue()
+        assert queue.schedule(1, lambda: None) is None
+        assert queue.schedule_at(5, lambda: None) is None
+
+    def test_integer_delays_skip_rounding(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(3, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [3]
+
+    def test_float_schedule_at_coerces_to_int_cycles(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(7.0, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [7] and seen[0].__class__ is int
+
+    def test_bool_delay_is_not_mistaken_for_int_fast_path(self):
+        # bool subclasses int; it must still schedule correctly
+        queue = EventQueue()
+        seen = []
+        queue.schedule(True, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [1]

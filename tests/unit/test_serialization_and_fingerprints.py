@@ -133,3 +133,55 @@ class TestJobSpecFingerprints:
         key = JobSpec(workload="FwSoft", policy=CACHE_R).fingerprint()
         assert len(key) == 64
         int(key, 16)  # raises if not hex
+
+
+class TestCodeStaleness:
+    """A simulator-source edit must change every job fingerprint.
+
+    This is what lets the persistent result store survive hot-path rewrites
+    of the core (like PR 2's): stored reports keyed under the old code
+    digest become misses instead of being served stale.
+    """
+
+    def test_editing_a_source_file_changes_tree_digest(self, tmp_path):
+        from repro.fingerprint import tree_digest
+
+        package = tmp_path / "fakepkg"
+        package.mkdir()
+        (package / "a.py").write_text("X = 1\n")
+        (package / "sub").mkdir()
+        (package / "sub" / "b.py").write_text("Y = 2\n")
+        before = tree_digest(package)
+        assert before == tree_digest(package)  # deterministic
+        (package / "sub" / "b.py").write_text("Y = 3\n")
+        assert tree_digest(package) != before
+
+    def test_adding_a_source_file_changes_tree_digest(self, tmp_path):
+        from repro.fingerprint import tree_digest
+
+        package = tmp_path / "fakepkg"
+        package.mkdir()
+        (package / "a.py").write_text("X = 1\n")
+        before = tree_digest(package)
+        (package / "new_module.py").write_text("")
+        assert tree_digest(package) != before
+
+    def test_code_digest_change_invalidates_job_fingerprints(self, monkeypatch):
+        import repro.fingerprint as fp
+
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.5, config=scaled_config(2))
+        before = job.fingerprint()
+        monkeypatch.setattr(fp, "code_digest", lambda: "0" * 64)
+        after = job.fingerprint()
+        assert after != before
+        monkeypatch.undo()
+        assert job.fingerprint() == before
+
+    def test_code_digest_reflects_current_package_source(self):
+        from pathlib import Path
+
+        from repro.fingerprint import tree_digest
+
+        package_root = Path(fingerprint.__code__.co_filename).resolve().parent
+        # the cached digest must equal a fresh walk of the live source tree
+        assert code_digest() == tree_digest(package_root)

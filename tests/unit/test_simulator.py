@@ -1,0 +1,59 @@
+"""Tests for the simulator driver, in particular its aggregate event budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Simulator
+
+
+def _self_rescheduling(sim: Simulator):
+    def tick() -> None:
+        sim.schedule(1, tick)
+
+    return tick
+
+
+class TestSimulatorBudget:
+    def test_budget_exhaustion_raises(self):
+        sim = Simulator(max_events=10)
+        sim.schedule(1, _self_rescheduling(sim))
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run()
+        assert sim.queue.executed == 10
+
+    def test_budget_is_aggregate_across_runs(self):
+        # a livelocked model must not get a fresh budget per run() call
+        sim = Simulator(max_events=10)
+        sim.schedule(1, _self_rescheduling(sim))
+        sim.run(until=6)  # executes 6 events, stops on the time bound
+        assert sim.queue.executed == 6
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run()
+        # only the remaining 4 events of the shared budget were executed
+        assert sim.queue.executed == 10
+
+    def test_exhausted_budget_raises_immediately_when_work_pending(self):
+        sim = Simulator(max_events=3)
+        sim.schedule(1, _self_rescheduling(sim))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sim.queue.executed == 3
+
+    def test_draining_within_budget_does_not_raise(self):
+        sim = Simulator(max_events=5)
+        fired = []
+        for delay in (1, 2, 3):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        assert sim.run() == 3
+        assert fired == [1, 2, 3]
+
+    def test_finish_hooks_fire_with_final_time(self):
+        sim = Simulator()
+        seen = []
+        sim.on_finish(seen.append)
+        sim.schedule(7, lambda: None)
+        sim.run()
+        assert seen == [7]

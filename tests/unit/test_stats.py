@@ -63,6 +63,78 @@ class TestStatsCollector:
         assert a.histogram("h") == {5: 1}
 
 
+class TestCounterHandles:
+    def test_handle_increments_shared_counter(self):
+        stats = StatsCollector()
+        handle = stats.counter("l1.hits")
+        handle.add()
+        handle.add(4)
+        assert stats.get("l1.hits") == 5
+        assert stats.counters() == {"l1.hits": 5}
+
+    def test_same_name_resolves_to_same_handle(self):
+        # per-CU L1 caches all resolve "l1.*" handles; they must aggregate
+        stats = StatsCollector()
+        a = stats.counter("l1.hits")
+        b = stats.counter("l1.hits")
+        assert a is b
+        a.add(2)
+        b.add(3)
+        assert stats.get("l1.hits") == 5
+
+    def test_handles_interoperate_with_named_api(self):
+        stats = StatsCollector()
+        handle = stats.counter("x")
+        stats.add("x", 2)
+        handle.add(3)
+        assert stats.get("x") == 5
+        stats.set("x", 1)
+        assert handle.value == 1
+
+    def test_resolved_but_unwritten_counters_are_invisible(self):
+        # pre-registering handles in __init__ must not change report
+        # contents versus the old lazily-created counters
+        stats = StatsCollector()
+        stats.counter("l1.rinse_writebacks")
+        stats.add("l1.hits")
+        assert stats.counters() == {"l1.hits": 1}
+        assert stats.snapshot() == {"l1.hits": 1}
+        assert stats.matching("l1.") == {"l1.hits": 1}
+        assert stats.get("l1.rinse_writebacks", default=7) == 7
+
+    def test_zero_amount_write_makes_counter_visible(self):
+        # invalidate_clean adds 0 when nothing was dropped; the counter
+        # still appears, exactly as the defaultdict behaviour did
+        stats = StatsCollector()
+        stats.counter("l1.self_invalidations").add(0)
+        assert stats.counters() == {"l1.self_invalidations": 0}
+
+    def test_merge_ignores_unwritten_handles(self):
+        a, b = StatsCollector(), StatsCollector()
+        b.counter("never_written")
+        b.add("x", 2)
+        a.merge(b)
+        assert a.counters() == {"x": 2}
+
+    def test_delta_since_with_handles(self):
+        stats = StatsCollector()
+        handle = stats.counter("x")
+        handle.add(5)
+        snap = stats.snapshot()
+        handle.add(2)
+        stats.counter("y")  # resolved, never written: not in the delta
+        stats.add("z", 1)
+        assert stats.delta_since(snap) == {"x": 2, "z": 1}
+
+    def test_histogram_handle_is_live_view(self):
+        stats = StatsCollector()
+        handle = stats.histogram_handle("lat")
+        handle[10] += 1
+        stats.observe("lat", 10)
+        handle[20] += 1
+        assert stats.histogram("lat") == {10: 2, 20: 1}
+
+
 def _report(policy: str, cycles: int, **counters) -> RunReport:
     base = {
         "gpu.mem_requests": 1000,
