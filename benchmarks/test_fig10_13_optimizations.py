@@ -33,7 +33,10 @@ def test_figure10_execution_time(benchmark, bench_runner, opt_sweep):
     print(render_series_table("Figure 10: execution time normalized to best static policy",
                               data, workload_order=WORKLOAD_NAMES))
     near_best = sum(1 for name in WORKLOAD_NAMES if data[name]["CacheRW-PCby"] <= 1.15)
-    print(f"CacheRW-PCby within 15% of the best static policy for {near_best}/17 workloads")
+    print(
+        f"CacheRW-PCby within 15% of the best static policy for "
+        f"{near_best}/{len(WORKLOAD_NAMES)} workloads"
+    )
     # the full stack should track the best static policy for most workloads
     assert near_best >= 12
     # and it should avoid the worst static policy's truly bad cases (a small

@@ -29,4 +29,4 @@ def test_table2_workloads(benchmark):
     }
     print()
     print(render_series_table("Table 2: studied MI workloads", data, value_format="{:.0f}"))
-    assert len(rows) == 17
+    assert len(rows) == 18

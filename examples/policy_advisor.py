@@ -38,7 +38,7 @@ def main() -> int:
     config = default_config()
     advisor = PolicyAdvisor()
 
-    print("Advisor recommendations for all 17 workloads:\n")
+    print("Advisor recommendations for all registered workloads:\n")
     from repro.workloads.registry import WORKLOAD_NAMES
 
     for name in WORKLOAD_NAMES:

@@ -21,6 +21,13 @@ Quickstart::
         print(policy.name, report.cycles, report.dram_accesses)
 """
 
+from repro.adaptive import (
+    AdaptiveConfig,
+    DynamicPolicyController,
+    DynamicPolicyEngine,
+    PhaseDetector,
+    SetDuelingMonitor,
+)
 from repro.config import (
     CacheConfig,
     DramConfig,
@@ -90,6 +97,12 @@ __all__ = [
     "PolicyAdvisor",
     "WorkloadCategory",
     "classify",
+    # online adaptive policy selection
+    "AdaptiveConfig",
+    "DynamicPolicyController",
+    "DynamicPolicyEngine",
+    "PhaseDetector",
+    "SetDuelingMonitor",
     # simulation
     "SimulationSession",
     "simulate",

@@ -1,0 +1,39 @@
+"""Online adaptive cache-policy selection.
+
+The paper's conclusion calls for "smart and adaptive cache policies" for MI
+workloads; the offline :class:`~repro.core.advisor.PolicyAdvisor` already
+recommends a static policy from pre-measured profiles.  This package closes
+the loop *at runtime*: a simulation can start with no knowledge of the
+workload and converge on the right caching policy while it executes.
+
+Three cooperating components implement the mechanism:
+
+* :class:`~repro.adaptive.set_dueling.SetDuelingMonitor` -- dedicates a few
+  L2 *leader sets* to each candidate policy and scores the downstream
+  memory traffic each one generates (set dueling, after Qureshi's DIP).
+* :class:`~repro.adaptive.phase.PhaseDetector` -- watches windowed counters
+  (arithmetic intensity, L2 hit rate, write coalescing) and emits
+  phase-change events on the simulator's event queue.
+* :class:`~repro.adaptive.controller.DynamicPolicyController` -- consumes
+  both signals and swaps the active policy for the *follower* sets at
+  kernel boundaries (and, optionally, mid-kernel at phase changes).
+
+:class:`~repro.adaptive.config.AdaptiveConfig` describes one adaptive
+configuration and is content-fingerprinted, so adaptive runs cache in the
+persistent result store exactly like static runs do.
+"""
+
+from repro.adaptive.config import AdaptiveConfig
+from repro.adaptive.controller import DynamicPolicyController, DynamicPolicyEngine
+from repro.adaptive.phase import PhaseDetector, PhaseSample
+from repro.adaptive.set_dueling import DuelScore, SetDuelingMonitor
+
+__all__ = [
+    "AdaptiveConfig",
+    "DuelScore",
+    "DynamicPolicyController",
+    "DynamicPolicyEngine",
+    "PhaseDetector",
+    "PhaseSample",
+    "SetDuelingMonitor",
+]

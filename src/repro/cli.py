@@ -9,6 +9,9 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
   normalized comparison.
 * ``sweep-all`` -- materialize the full (workload x policy) grid once and
   print every figure derived from it.
+* ``adaptive``  -- run the online dynamic-policy study (Figure 14): every
+  workload under set-dueling + phase-aware policy selection, compared with
+  the static envelope and the paper's optimization stack.
 * ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
 
@@ -26,10 +29,13 @@ import json
 import sys
 from typing import Sequence
 
+from repro.adaptive import AdaptiveConfig
 from repro.config import default_config, scaled_config
 from repro.core.policies import ALL_POLICIES, STATIC_POLICIES, policy_by_name
 from repro.experiments import (
     ExperimentRunner,
+    adaptive_summary,
+    figure14_adaptive,
     figure4_gvops,
     figure5_gmrs,
     figure6_execution_time,
@@ -162,6 +168,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(sweep_all)
 
+    adaptive = subparsers.add_parser(
+        "adaptive",
+        help="run the online dynamic-policy study (Figure 14)",
+    )
+    adaptive.add_argument(
+        "--workloads", nargs="+", default=None,
+        help="subset of workloads (default: all 18, including MHA)",
+    )
+    adaptive.add_argument(
+        "--candidates",
+        nargs="+",
+        default=[p.name for p in STATIC_POLICIES],
+        help="candidate policies the duel arbitrates (default: the static three)",
+    )
+    adaptive.add_argument(
+        "--epoch-cycles", type=int, default=None, metavar="N",
+        help="phase-sampling / duel-decision period in cycles",
+    )
+    adaptive.add_argument(
+        "--leader-sets", type=int, default=None, metavar="N",
+        help="L2 leader sets per candidate policy",
+    )
+    adaptive.add_argument(
+        "--mid-kernel", action="store_true",
+        help="also swap the policy mid-kernel when the phase detector fires",
+    )
+    adaptive.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the figure data and geomean summary as JSON (CI artifact)",
+    )
+    _add_executor_options(adaptive)
+
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES, key=int))
     figure.add_argument(
@@ -287,6 +325,73 @@ def _cmd_sweep_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    """Run the dynamic-vs-static comparison and print/record Figure 14.
+
+    Like ``sweep-all``, the command defaults to the conventional persistent
+    store, so the static envelope (shared with Figures 6-13) and finished
+    dynamic cells are never re-simulated; the cache-effectiveness line goes
+    to stderr so stdout stays identical between cold and warm runs.
+    """
+    overrides: dict[str, object] = {
+        "candidates": tuple(policy_by_name(name) for name in args.candidates),
+        "mid_kernel_switching": bool(args.mid_kernel),
+    }
+    if args.epoch_cycles is not None:
+        overrides["epoch_cycles"] = args.epoch_cycles
+    if args.leader_sets is not None:
+        overrides["leader_sets_per_policy"] = args.leader_sets
+    adaptive_config = AdaptiveConfig(**overrides)  # type: ignore[arg-type]
+
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        workload_names=args.workloads,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    figure = figure14_adaptive(runner, adaptive_config=adaptive_config)
+    summary = adaptive_summary(figure)
+    print(
+        render_series_table(
+            "Figure 14: dynamic policy vs static envelope "
+            "(execution time normalized to best static)",
+            figure,
+        )
+    )
+    print(render_series_table("Figure 14 geomean summary", summary))
+
+    if args.json_out:
+        blob = {
+            "schema": 1,
+            "adaptive": {
+                "fingerprint": adaptive_config.fingerprint(),
+                "candidates": [p.name for p in adaptive_config.candidates],
+                "epoch_cycles": adaptive_config.epoch_cycles,
+                "leader_sets_per_policy": adaptive_config.leader_sets_per_policy,
+                "mid_kernel_switching": adaptive_config.mid_kernel_switching,
+            },
+            "scale": args.scale,
+            "num_cus": runner.config.gpu.num_cus,
+            "figure14": figure,
+            "summary": summary,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[adaptive] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    stats = runner.stats()
+    print(
+        f"[adaptive] workloads={len(figure)} jobs={args.jobs} "
+        f"store={cache_dir or 'disabled'} "
+        f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == "1":
         tables = table1_system_configuration(config=_system_config(args))
@@ -323,6 +428,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "sweep-all":
             return _cmd_sweep_all(args)
+        if args.command == "adaptive":
+            return _cmd_adaptive(args)
         if args.command == "figure":
             return _cmd_figure(args)
         if args.command == "table":

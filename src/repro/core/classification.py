@@ -96,4 +96,8 @@ PAPER_CATEGORIES: dict[str, WorkloadCategory] = {
     "FwAct": WorkloadCategory.THROUGHPUT_SENSITIVE,
     "FwLRN": WorkloadCategory.THROUGHPUT_SENSITIVE,
     "BwAct": WorkloadCategory.THROUGHPUT_SENSITIVE,
+    # beyond the paper: transformer-era attention (registry "MHA"); its
+    # K/V and projection-weight re-reads make it behave like the paper's
+    # reuse-sensitive group
+    "MHA": WorkloadCategory.REUSE_SENSITIVE,
 }

@@ -58,22 +58,29 @@ class PolicyEngine:
             self.dirty_block_index = DirtyBlockIndex(row_of, max_rows=dbi_max_rows)
 
     # ------------------------------------------------------------------
-    def annotate(self, request: "MemoryRequest") -> "MemoryRequest":
-        """Stamp ``request`` with the bypass flags implied by the policy.
+    @staticmethod
+    def stamp(request: "MemoryRequest", spec: PolicySpec) -> "MemoryRequest":
+        """Stamp ``request`` with the bypass flags implied by ``spec``.
 
         Stores always bypass the L1 (true for every policy in the paper);
         whether they bypass the L2 depends on ``cache_stores_l2``.  Loads
         bypass a level exactly when that level does not cache loads.  The
         PC-based prediction is *not* applied here -- it is consulted by the
-        L2 itself so that sampler sets can override it.
+        L2 itself so that sampler sets can override it.  Shared by the
+        static and the dynamic (per-set) engines, so the flag rules can
+        never diverge between them.
         """
         if request.is_load:
-            request.bypass_l1 = not self.policy.cache_loads_l1
-            request.bypass_l2 = not self.policy.cache_loads_l2
+            request.bypass_l1 = not spec.cache_loads_l1
+            request.bypass_l2 = not spec.cache_loads_l2
         else:
             request.bypass_l1 = True
-            request.bypass_l2 = not self.policy.cache_stores_l2
+            request.bypass_l2 = not spec.cache_stores_l2
         return request
+
+    def annotate(self, request: "MemoryRequest") -> "MemoryRequest":
+        """Stamp ``request`` with the bypass flags implied by the policy."""
+        return self.stamp(request, self.policy)
 
     # ------------------------------------------------------------------
     @property

@@ -12,6 +12,9 @@ Each module corresponds to a block of the paper's evaluation:
 * :mod:`repro.experiments.optimizations` -- Figures 10-13: the same metrics
   for the best/worst static policies and the cumulative optimization stack
   (CacheRW-AB, CacheRW-CR, CacheRW-PCby).
+* :mod:`repro.experiments.adaptive` -- Figure 14: the online dynamic
+  policy (set dueling + phase detection) against the static envelope and
+  the optimization stack.
 * :mod:`repro.experiments.jobs` -- the job-based sweep executor:
   :class:`JobSpec` grid cells, serial and process-pool backends, and the
   store-aware :class:`SweepExecutor`.
@@ -45,6 +48,11 @@ from repro.experiments.optimizations import (
     figure13_row_hit_rate,
     optimization_sweep,
 )
+from repro.experiments.adaptive import (
+    adaptive_summary,
+    adaptive_sweep,
+    figure14_adaptive,
+)
 from repro.experiments.tables import table1_system_configuration, table2_workloads
 from repro.experiments.render import render_series_table
 
@@ -70,6 +78,9 @@ __all__ = [
     "figure13_row_hit_rate",
     "static_policy_sweep",
     "optimization_sweep",
+    "adaptive_sweep",
+    "figure14_adaptive",
+    "adaptive_summary",
     "table1_system_configuration",
     "table2_workloads",
     "render_series_table",

@@ -1,0 +1,131 @@
+"""Figure 14: the online dynamic policy versus the static envelope.
+
+The paper's conclusion asks for "smart and adaptive cache policies"; this
+driver measures the online subsystem of :mod:`repro.adaptive` against the
+quantities the paper uses to frame the opportunity:
+
+* **StaticBest / StaticWorst** -- the per-workload best and worst of the
+  three static policies (the oracle envelope of Figures 10-13).
+* **CacheRW-PCby** -- the paper's full cumulative optimization stack.
+* **Dynamic** -- one run per workload that starts with no knowledge of the
+  workload and lets set dueling plus phase detection pick the policy
+  online.
+
+All runs go through the shared :class:`~repro.experiments.runner
+.ExperimentRunner`/:class:`~repro.experiments.jobs.SweepExecutor` path:
+dynamic runs are ordinary :class:`~repro.experiments.jobs.JobSpec` cells
+whose fingerprint includes the :class:`~repro.adaptive.config
+.AdaptiveConfig`, so they parallelize across worker processes and persist
+in the result store exactly like static runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.adaptive.config import AdaptiveConfig
+from repro.core.classification import PAPER_CATEGORIES, WorkloadCategory
+from repro.core.policies import CACHE_RW_PCBY, STATIC_POLICIES
+from repro.experiments.optimizations import STATIC_BEST, STATIC_WORST
+from repro.experiments.runner import ExperimentRunner
+from repro.stats.report import RunReport
+
+__all__ = [
+    "DYNAMIC",
+    "adaptive_sweep",
+    "figure14_adaptive",
+    "adaptive_summary",
+    "geomean",
+]
+
+#: series label of the online adaptive runs in Figure 14
+DYNAMIC = "Dynamic"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for ratios)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean needs at least one value")
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean is only defined for positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def adaptive_sweep(
+    runner: ExperimentRunner,
+    adaptive_config: Optional[AdaptiveConfig] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> dict[str, RunReport]:
+    """One dynamic run per workload, through the runner's executor.
+
+    The jobs are submitted as a single batch, so a process-pool backend
+    runs them concurrently and the persistent store caches them under the
+    adaptive configuration's fingerprint.
+    """
+    config = adaptive_config or AdaptiveConfig()
+    return runner.adaptive_sweep(config, workload_names)
+
+
+def figure14_adaptive(
+    runner: Optional[ExperimentRunner] = None,
+    adaptive_config: Optional[AdaptiveConfig] = None,
+    workload_names: Optional[Sequence[str]] = None,
+) -> dict[str, dict[str, float]]:
+    """Figure 14: execution time normalized to the best static policy.
+
+    Series: StaticBest (1.0 by construction), StaticWorst, the paper's
+    full optimization stack (CacheRW-PCby), and the online Dynamic policy.
+    """
+    runner = runner or ExperimentRunner()
+    names = tuple(workload_names or runner.workload_names)
+    static = runner.sweep(policies=STATIC_POLICIES, workload_names=names)
+    optimized = runner.sweep(policies=(CACHE_RW_PCBY,), workload_names=names)
+    dynamic = adaptive_sweep(runner, adaptive_config, names)
+
+    static_names = [policy.name for policy in STATIC_POLICIES]
+    result: dict[str, dict[str, float]] = {}
+    for workload in names:
+        comparison = static.comparison(workload)
+        best = comparison.static_best(static_names)
+        worst = comparison.static_worst(static_names)
+        baseline = static.get(workload, best).cycles
+        result[workload] = {
+            STATIC_BEST: 1.0,
+            STATIC_WORST: static.get(workload, worst).cycles / baseline,
+            CACHE_RW_PCBY.name: optimized.get(workload, CACHE_RW_PCBY.name).cycles
+            / baseline,
+            DYNAMIC: dynamic[workload].cycles / baseline,
+        }
+    return result
+
+
+def adaptive_summary(
+    figure: Mapping[str, Mapping[str, float]],
+) -> dict[str, dict[str, float]]:
+    """Geomean of every Figure 14 series, overall and per paper category.
+
+    The acceptance question for the dynamic policy reads directly off this
+    summary: ``Dynamic`` must beat ``StaticWorst`` overall and sit inside
+    the StaticBest/optimization-stack envelope on the reuse-sensitive
+    group.
+    """
+    groups: dict[str, list[str]] = {"All": list(figure)}
+    for category in WorkloadCategory:
+        members = [
+            workload
+            for workload in figure
+            if PAPER_CATEGORIES.get(workload) is category
+        ]
+        if members:
+            groups[str(category)] = members
+
+    summary: dict[str, dict[str, float]] = {}
+    for group, members in groups.items():
+        series_names = figure[members[0]].keys()
+        summary[group] = {
+            series: geomean(figure[workload][series] for workload in members)
+            for series in series_names
+        }
+    return summary

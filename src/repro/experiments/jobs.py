@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence
 
+from repro.adaptive.config import AdaptiveConfig
 from repro.config import SystemConfig, default_config
 from repro.core.policies import PolicySpec
 from repro.core.reuse_predictor import PredictorConfig
@@ -53,11 +54,16 @@ class JobSpec:
 
     Attributes:
         workload: registry name of the workload (paper figure label).
-        policy: the caching policy to simulate under.
+        policy: the caching policy to simulate under.  For adaptive jobs
+            this records the *initial* policy (the candidates are in the
+            adaptive configuration).
         scale: workload scale factor passed to the trace generator.
         config: full system configuration.
         predictor_config: optional reuse-predictor geometry override.
         dbi_max_rows: optional dirty-block-index capacity bound.
+        adaptive: when given, the run uses the online adaptive subsystem
+            (set dueling + phase-aware dynamic policy selection) instead of
+            the static ``policy``.
     """
 
     workload: str
@@ -66,6 +72,7 @@ class JobSpec:
     config: SystemConfig = field(default_factory=default_config)
     predictor_config: Optional[PredictorConfig] = None
     dbi_max_rows: Optional[int] = None
+    adaptive: Optional[AdaptiveConfig] = None
 
     def fingerprint(self) -> str:
         """Stable key over every input that can affect the result.
@@ -82,18 +89,23 @@ class JobSpec:
                 "config": self.config,
                 "predictor_config": self.predictor_config,
                 "dbi_max_rows": self.dbi_max_rows,
+                "adaptive": self.adaptive,
             },
             kind="JobSpec",
         )
 
     def summary(self) -> dict[str, object]:
         """Human-readable inputs, stored next to cached blobs for auditing."""
-        return {
+        summary: dict[str, object] = {
             "workload": self.workload,
             "policy": self.policy.name,
             "scale": self.scale,
             "num_cus": self.config.gpu.num_cus,
         }
+        if self.adaptive is not None:
+            summary["adaptive"] = self.adaptive.name
+            summary["candidates"] = [p.name for p in self.adaptive.candidates]
+        return summary
 
 
 def execute_job(job: JobSpec) -> RunReport:
@@ -105,6 +117,7 @@ def execute_job(job: JobSpec) -> RunReport:
         config=job.config,
         predictor_config=job.predictor_config,
         dbi_max_rows=job.dbi_max_rows,
+        adaptive=job.adaptive,
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.adaptive.config import AdaptiveConfig
 from repro.config import SystemConfig, default_config
 from repro.core.policies import STATIC_POLICIES, PolicySpec
 from repro.experiments.jobs import (
@@ -166,6 +167,42 @@ class ExperimentRunner:
         for name, policy in grid:
             result.add(self._cache[(name, policy.name)])
         return result
+
+    # ------------------------------------------------------------------
+    def adaptive_job_for(self, workload_name: str, adaptive: AdaptiveConfig) -> JobSpec:
+        """The :class:`JobSpec` for one online-adaptive (dynamic) run."""
+        return JobSpec(
+            workload=workload_name,
+            policy=adaptive.initial_policy,
+            scale=self.scale,
+            config=self.config,
+            adaptive=adaptive,
+        )
+
+    def adaptive_sweep(
+        self,
+        adaptive: AdaptiveConfig,
+        workload_names: Optional[Sequence[str]] = None,
+    ) -> dict[str, RunReport]:
+        """One dynamic run per workload, memoized like the static cells.
+
+        The in-process memo keys dynamic cells by the adaptive
+        configuration's fingerprint, so two differently-tuned adaptive
+        studies sharing one runner never collide, and the executor
+        accounting (`runs_simulated + runs_loaded == cached_runs`) holds
+        for mixed static/dynamic usage.
+        """
+        names = tuple(workload_names or self.workload_names)
+        memo_tag = f"adaptive:{adaptive.fingerprint()}"
+        pending = [name for name in names if (name, memo_tag) not in self._cache]
+        self._memo_hits += len(names) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [self.adaptive_job_for(name, adaptive) for name in pending]
+            )
+            for name, report in zip(pending, reports):
+                self._cache[(name, memo_tag)] = report
+        return {name: self._cache[(name, memo_tag)] for name in names}
 
     # ------------------------------------------------------------------
     def cached_runs(self) -> int:

@@ -13,7 +13,11 @@ Layout: one ``<key>.json`` file per result under the store root, written
 atomically (temp file + ``os.replace``) so concurrent workers and readers
 never observe a torn blob.  Corrupt or schema-incompatible blobs are
 treated as misses, never as errors: the store is a cache, and the worst
-outcome of losing an entry is re-simulating it.
+outcome of losing an entry is re-simulating it.  A *corrupt* entry (the
+file exists but cannot be parsed -- e.g. truncated by a full disk or a
+killed process) additionally emits a :class:`RuntimeWarning` naming the
+file, so silent re-simulation never masks a sick cache directory; an entry
+from a different schema/code version is silently stale, not corrupt.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Iterator, Mapping, Optional
 
@@ -64,24 +69,52 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[RunReport]:
-        """Return the stored report for ``key``, or ``None`` on a miss."""
+        """Return the stored report for ``key``, or ``None`` on a miss.
+
+        Every failure mode is a miss (the caller re-simulates); a file
+        that exists but cannot be parsed or rebuilt into a report is
+        reported with a :class:`RuntimeWarning` so operators learn about
+        truncated/corrupt entries instead of paying for silent
+        re-simulation forever.
+        """
         path = self._path(key)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                blob = json.load(handle)
-        except (OSError, ValueError):
-            # OSError: missing/unreadable file; ValueError: malformed JSON
-            # (JSONDecodeError) or non-UTF-8 bytes (UnicodeDecodeError)
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None  # a clean miss
+        except OSError as exc:
+            self._warn_corrupt(path, f"unreadable ({exc})")
             return None
-        if not isinstance(blob, Mapping) or blob.get("schema") != SCHEMA_VERSION:
+        try:
+            blob = json.loads(raw)
+        except ValueError as exc:
+            # malformed/truncated JSON (JSONDecodeError) or non-UTF-8
+            # bytes (UnicodeDecodeError)
+            self._warn_corrupt(path, f"malformed JSON ({exc})")
             return None
+        if not isinstance(blob, Mapping):
+            self._warn_corrupt(path, f"expected an object, found {type(blob).__name__}")
+            return None
+        if blob.get("schema") != SCHEMA_VERSION:
+            return None  # a stale-schema entry is expected, not corrupt
         report = blob.get("report")
         if not isinstance(report, Mapping):
+            self._warn_corrupt(path, "entry has no report object")
             return None
         try:
             return RunReport.from_dict(report)
-        except (ValueError, TypeError):
+        except (ValueError, TypeError) as exc:
+            self._warn_corrupt(path, f"report does not deserialize ({exc})")
             return None
+
+    @staticmethod
+    def _warn_corrupt(path: Path, reason: str) -> None:
+        warnings.warn(
+            f"result store entry {path} is corrupt: {reason}; "
+            "ignoring it and re-simulating",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def save(self, key: str, report: RunReport, job: Optional[Mapping[str, object]] = None) -> None:
         """Persist ``report`` under ``key`` atomically.

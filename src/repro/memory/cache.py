@@ -47,6 +47,7 @@ from repro.memory.request import AccessType, MemoryRequest
 from repro.stats import StatsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.adaptive.set_dueling import SetDuelingMonitor
     from repro.core.dirty_block_index import DirtyBlockIndex
     from repro.core.reuse_predictor import ReusePredictor
 
@@ -162,6 +163,10 @@ class Cache:
         self.replacement = make_replacement(replacement, config.num_sets, config.assoc)
         self.mshrs = MshrFile(config.mshrs)
         self.bypass_pending = MshrFile(capacity=None)
+        #: optional set-dueling observer (attached to the L2 by adaptive
+        #: sessions); when None -- every static run -- the hooks cost one
+        #: attribute test per lookup and record nothing
+        self.set_monitor: Optional["SetDuelingMonitor"] = None
         self.port = ThroughputResource(f"{name}.port", cycles_per_grant=1.0 / config.ports)
         self._set_waiters: dict[int, WaitQueue] = {}
         # sampler sets always cache so the reuse predictor keeps training
@@ -359,6 +364,8 @@ class Cache:
         # miss: need an MSHR (loads) and a victim way
         if first_attempt:
             self._c_misses.add()
+            if self.set_monitor is not None:
+                self.set_monitor.record_miss(set_index, request.is_store)
         if request.is_store and self.config.writeback:
             self._store_allocate(request, set_index, line_address, on_done)
             return
@@ -502,6 +509,8 @@ class Cache:
             if stall > 0:
                 self._c_stall_cycles_alloc.add(stall)
                 self._c_stall_cycles.add(stall)
+                if self.set_monitor is not None:
+                    self.set_monitor.record_stall(set_index, stall)
 
         if reason == "set_busy":
 
@@ -675,6 +684,13 @@ class Cache:
                 self._record_waiter_callback(request, on_done)
                 self._c_bypass_coalesced.add()
                 return
+            if self.set_monitor is not None:
+                # only traffic-initiating bypasses score (coalesced riders
+                # are free, matching the MSHR-coalesced case on the cached
+                # side which is likewise not recorded)
+                self.set_monitor.record_bypass(
+                    (address // self._line_bytes) % self._num_sets, False
+                )
             self.bypass_pending.allocate(line_address, request, self._queue.now)
             self._record_waiter_callback(request, on_done)
             self._schedule(
@@ -683,6 +699,10 @@ class Cache:
             )
             return
         # bypassed store: fire and forward; completion when downstream accepts
+        if self.set_monitor is not None:
+            self.set_monitor.record_bypass(
+                (address // self._line_bytes) % self._num_sets, True
+            )
         self._schedule(BYPASS_LATENCY, lambda: self.downstream(request, on_done))
 
     def _bypass_fill(self, line_address: int) -> None:

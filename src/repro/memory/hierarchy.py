@@ -45,6 +45,10 @@ class MemoryHierarchy:
         self.sim = sim
         self.stats = stats
         self.policy_engine = policy_engine
+        #: callbacks invoked at the start of every kernel-boundary
+        #: synchronization (the adaptive controller registers here so a
+        #: policy swap governs the next kernel's requests)
+        self._kernel_boundary_hooks: list[Callable[[], None]] = []
         self._c_mem_requests = stats.counter("gpu.mem_requests")
         self._c_load_requests = stats.counter("gpu.load_requests")
         self._c_store_requests = stats.counter("gpu.store_requests")
@@ -152,9 +156,16 @@ class MemoryHierarchy:
         fires on the next cycle.
         """
         self._c_kernel_boundaries.add()
+        if self._kernel_boundary_hooks:
+            for hook in self._kernel_boundary_hooks:
+                hook()
         for l1 in self.l1s:
             l1.invalidate_clean()
         self.l2.flush_dirty(on_complete, keep_clean=True)
+
+    def add_kernel_boundary_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run at the start of every kernel boundary."""
+        self._kernel_boundary_hooks.append(hook)
 
     # ------------------------------------------------------------------
     def row_of(self, line_address: int) -> int:

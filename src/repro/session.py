@@ -1,16 +1,22 @@
 """Top-level simulation entry points.
 
 :func:`simulate` is the main public API: run one workload under one caching
-policy and return a :class:`~repro.stats.report.RunReport`.
+policy -- static, or *online adaptive* when an
+:class:`~repro.adaptive.config.AdaptiveConfig` is supplied -- and return a
+:class:`~repro.stats.report.RunReport`.
 :class:`SimulationSession` is the underlying object for callers that want
-access to the assembled components (hierarchy, GPU, statistics) -- the
-examples and some tests use it directly.
+access to the assembled components (hierarchy, GPU, statistics, and for
+adaptive runs the dynamic controller) -- the examples and some tests use it
+directly.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.adaptive.config import AdaptiveConfig
+from repro.adaptive.controller import DynamicPolicyController, DynamicPolicyEngine
+from repro.adaptive.phase import PhaseDetector
 from repro.config import SystemConfig, default_config
 from repro.core.policies import PolicySpec, policy_by_name
 from repro.core.policy_engine import PolicyEngine
@@ -31,31 +37,80 @@ class SimulationSession:
 
     Args:
         policy: the caching policy (a :class:`PolicySpec` or its name).
+            Ignored when ``adaptive`` is given -- the adaptive
+            configuration's candidates govern the run.
         config: system configuration; defaults to the scaled 8-CU system.
         predictor_config: optional reuse-predictor geometry override.
         dbi_max_rows: optional dirty-block-index capacity bound.
+        adaptive: when given, build the online adaptive subsystem instead
+            of a static policy engine: a set-dueling monitor on the L2, a
+            phase detector on the event queue, and a dynamic controller
+            swapping the follower-set policy at kernel boundaries (and
+            optionally mid-kernel).  The run report's policy label is the
+            adaptive configuration's display name.
     """
 
     def __init__(
         self,
-        policy: PolicySpec | str,
+        policy: PolicySpec | str | None = None,
         config: Optional[SystemConfig] = None,
         predictor_config: Optional[PredictorConfig] = None,
         dbi_max_rows: Optional[int] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
+        if policy is None and adaptive is None:
+            raise ValueError("a session needs a policy or an adaptive configuration")
         self.config = config or default_config()
-        self.policy = policy_by_name(policy) if isinstance(policy, str) else policy
+        self.adaptive = adaptive
         self.sim = Simulator()
         self.stats = StatsCollector()
         mapping = AddressMapping(self.config.dram, line_bytes=self.config.l2.line_bytes)
-        self.policy_engine = PolicyEngine(
-            self.policy,
-            row_of=mapping.row_id,
-            predictor_config=predictor_config,
-            dbi_max_rows=dbi_max_rows,
-        )
+
+        self.controller: Optional[DynamicPolicyController] = None
+        self.phase_detector: Optional[PhaseDetector] = None
+        if adaptive is not None:
+            self.policy = adaptive.initial_policy
+            self.policy_label = adaptive.name
+            engine = DynamicPolicyEngine(
+                adaptive,
+                l2_config=self.config.l2,
+                stats=self.stats,
+                row_of=mapping.row_id,
+                predictor_config=predictor_config,
+                dbi_max_rows=dbi_max_rows,
+            )
+            self.policy_engine: PolicyEngine = engine
+        else:
+            self.policy = policy_by_name(policy) if isinstance(policy, str) else policy
+            self.policy_label = self.policy.name
+            self.policy_engine = PolicyEngine(
+                self.policy,
+                row_of=mapping.row_id,
+                predictor_config=predictor_config,
+                dbi_max_rows=dbi_max_rows,
+            )
+
         self.hierarchy = MemoryHierarchy(self.config, self.sim, self.stats, self.policy_engine)
         self.gpu = Gpu(self.config, self.sim, self.stats, self.hierarchy)
+
+        if adaptive is not None:
+            engine = self.policy_engine
+            assert isinstance(engine, DynamicPolicyEngine)
+            # the duel observes the shared L2 (leader sets are L2 sets)
+            self.hierarchy.l2.set_monitor = engine.monitor
+            self.phase_detector = PhaseDetector(
+                self.sim,
+                self.stats,
+                epoch_cycles=adaptive.epoch_cycles,
+                min_requests=adaptive.phase_min_requests,
+                intensity_delta=adaptive.phase_intensity_delta,
+                hit_rate_delta=adaptive.phase_hit_rate_delta,
+                write_fraction_delta=adaptive.phase_write_fraction_delta,
+            )
+            self.controller = DynamicPolicyController(
+                engine, self.phase_detector, self.sim, self.stats
+            )
+            self.hierarchy.add_kernel_boundary_hook(self.controller.on_kernel_boundary)
 
     # ------------------------------------------------------------------
     def run(self, workload: Workload | WorkloadTrace) -> RunReport:
@@ -67,16 +122,18 @@ class SimulationSession:
             finished.append(self.sim.now)
 
         self.gpu.run_workload(trace, on_complete=on_complete)
+        if self.controller is not None:
+            self.controller.start(lambda: self.gpu.running)
         self.sim.run()
         if not finished:
             raise RuntimeError(
-                f"simulation of {trace.name!r} under {self.policy.name} did not complete; "
+                f"simulation of {trace.name!r} under {self.policy_label} did not complete; "
                 "the event queue drained with work outstanding (model deadlock)"
             )
         cycles = finished[0]
         return RunReport.from_stats(
             workload=trace.name,
-            policy=self.policy.name,
+            policy=self.policy_label,
             cycles=cycles,
             stats=self.stats,
             config=self.config,
@@ -85,10 +142,11 @@ class SimulationSession:
 
 def simulate(
     workload: Workload | WorkloadTrace,
-    policy: PolicySpec | str,
+    policy: PolicySpec | str | None = None,
     config: Optional[SystemConfig] = None,
     predictor_config: Optional[PredictorConfig] = None,
     dbi_max_rows: Optional[int] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -97,11 +155,16 @@ def simulate(
         from repro import simulate, get_workload, CACHE_RW
         report = simulate(get_workload("FwFc"), CACHE_RW)
         print(report.cycles, report.dram_accesses)
+
+    Pass ``adaptive=AdaptiveConfig(...)`` instead of a policy to let the
+    online controller pick (and re-pick) the policy while the workload
+    runs.
     """
     session = SimulationSession(
         policy=policy,
         config=config,
         predictor_config=predictor_config,
         dbi_max_rows=dbi_max_rows,
+        adaptive=adaptive,
     )
     return session.run(workload)

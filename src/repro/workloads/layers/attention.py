@@ -1,0 +1,167 @@
+"""Multi-head attention kernels (transformer-era, beyond the paper).
+
+Scaled-dot-product attention for one head decomposes into three memory
+phases with very different cache behaviour, which is what makes it an
+interesting subject for the adaptive policy study:
+
+* **Score GEMM** ``S = Q x K^T`` -- every query tile re-reads the head's
+  entire K matrix: inter-workgroup reuse that only the shared L2 captures
+  (the same structure as the fully connected layer's weight matrix).
+* **Softmax over S** -- three short-reuse-distance passes per row block
+  (max, sum of exponentials, normalize), the FwSoft pattern.
+* **Context GEMM** ``O = P x V`` -- the attention probabilities stream
+  through once while V is re-read by every query tile.
+
+The per-head kernels are built on the existing tiled
+:func:`~repro.workloads.layers.gemm.gemm_kernel` and
+:func:`~repro.workloads.layers.softmax.softmax_forward_kernel` builders, so
+attention inherits their LDS-staging and coalescing behaviour; this module
+only adds the head/projection plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers.gemm import gemm_kernel
+from repro.workloads.layers.softmax import softmax_forward_kernel
+from repro.workloads.tensor import Tensor
+from repro.workloads.trace import KernelTrace
+
+__all__ = [
+    "attention_score_kernel",
+    "attention_softmax_kernel",
+    "attention_context_kernel",
+    "attention_projection_kernel",
+]
+
+
+def _check_head(seq: int, head_dim: int) -> None:
+    if seq <= 0 or head_dim <= 0:
+        raise ValueError("seq and head_dim must be positive")
+
+
+def attention_score_kernel(
+    name: str,
+    q: Tensor,
+    k: Tensor,
+    scores: Tensor,
+    head: int,
+    seq: int,
+    head_dim: int,
+    wavefront_size: int = 64,
+    pc_base: int = 0xB000,
+) -> KernelTrace:
+    """``S_h = Q_h x K_h^T`` for one head (an ``seq x seq`` GEMM over ``head_dim``).
+
+    ``q`` and ``k`` hold all heads contiguously (head-major); ``scores``
+    holds one ``seq x seq`` matrix per head.  ``k`` doubles as the GEMM's
+    transposed-B operand: row *j* of ``K_h`` is the ``head_dim`` contiguous
+    elements of key *j*, exactly the ``b_t`` layout ``gemm_kernel`` wants.
+    """
+    _check_head(seq, head_dim)
+    head_elems = seq * head_dim
+    return gemm_kernel(
+        name,
+        a=q.view(head * head_elems, head_elems),
+        b_t=k.view(head * head_elems, head_elems),
+        c=scores.view(head * seq * seq, seq * seq),
+        m=seq,
+        n=seq,
+        k=head_dim,
+        tile_m=32,
+        tile_n=32,
+        wavefront_size=wavefront_size,
+        pc_base=pc_base + head * 0x100,
+    )
+
+
+def attention_softmax_kernel(
+    name: str,
+    scores: Tensor,
+    probs: Tensor,
+    num_heads: int,
+    seq: int,
+    wavefront_size: int = 64,
+    pc_base: int = 0xC000,
+) -> KernelTrace:
+    """Row softmax over every head's score matrix (one fused kernel).
+
+    Rows are independent, so real libraries launch a single kernel over
+    all ``num_heads x seq`` rows; each row block shows the classic
+    three-pass softmax reuse.
+    """
+    if num_heads <= 0 or seq <= 0:
+        raise ValueError("num_heads and seq must be positive")
+    return softmax_forward_kernel(
+        name,
+        x=scores,
+        y=probs,
+        num_elements=num_heads * seq * seq,
+        elements_per_wavefront=seq,
+        wavefront_size=wavefront_size,
+        ops_per_chunk=3,
+        pc_base=pc_base,
+    )
+
+
+def attention_context_kernel(
+    name: str,
+    probs: Tensor,
+    v_t: Tensor,
+    context: Tensor,
+    head: int,
+    seq: int,
+    head_dim: int,
+    wavefront_size: int = 64,
+    pc_base: int = 0xD000,
+) -> KernelTrace:
+    """``O_h = P_h x V_h`` for one head (``seq x head_dim`` GEMM over ``seq``).
+
+    ``v_t`` stores each head's V transposed (``head_dim x seq``) so a tile
+    column is contiguous, matching the ``b_t`` operand layout.
+    """
+    _check_head(seq, head_dim)
+    return gemm_kernel(
+        name,
+        a=probs.view(head * seq * seq, seq * seq),
+        b_t=v_t.view(head * seq * head_dim, head_dim * seq),
+        c=context.view(head * seq * head_dim, seq * head_dim),
+        m=seq,
+        n=head_dim,
+        k=seq,
+        tile_m=32,
+        tile_n=32,
+        wavefront_size=wavefront_size,
+        pc_base=pc_base + head * 0x100,
+    )
+
+
+def attention_projection_kernel(
+    name: str,
+    context: Tensor,
+    w_out_t: Tensor,
+    output: Tensor,
+    seq: int,
+    model_dim: int,
+    wavefront_size: int = 64,
+    pc_base: int = 0xE000,
+) -> KernelTrace:
+    """Output projection ``Y = C x W_o`` (``seq x model_dim`` over ``model_dim``).
+
+    The projection weight matrix is read in full by every sequence tile --
+    the FwFc reuse pattern that makes read caching pay.
+    """
+    if seq <= 0 or model_dim <= 0:
+        raise ValueError("seq and model_dim must be positive")
+    return gemm_kernel(
+        name,
+        a=context,
+        b_t=w_out_t,
+        c=output,
+        m=seq,
+        n=model_dim,
+        k=model_dim,
+        tile_m=32,
+        tile_n=32,
+        wavefront_size=wavefront_size,
+        pc_base=pc_base,
+    )

@@ -1,9 +1,11 @@
-"""Registry of the seventeen studied MI workloads (paper Table 2).
+"""Registry of the studied MI workloads (paper Table 2, plus extensions).
 
 The registry maps the figure labels used throughout the paper (``FwAct``,
 ``BwPool``, ``FwBwLSTM``, ...) to workload factories, and exposes helpers
 to build the whole suite at a chosen scale and to render the Table 2
-metadata.
+metadata.  Beyond the paper's seventeen workloads it registers ``MHA``, a
+transformer-era multi-head-attention layer used by the adaptive-policy
+study.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro.workloads.dnnmark import (
     ForwardPooling,
     ForwardSoftmax,
 )
+from repro.workloads.transformer import MultiHeadAttention
 
 __all__ = [
     "WORKLOAD_NAMES",
@@ -53,10 +56,13 @@ WORKLOAD_FACTORIES: dict[str, Callable[..., Workload]] = {
     "FwAct": lambda **kw: ForwardActivation(**kw),
     "FwLRN": lambda **kw: ForwardLrn(**kw),
     "BwAct": lambda **kw: BackwardActivation(**kw),
+    # beyond the paper: transformer-era attention for the adaptive study
+    "MHA": lambda **kw: MultiHeadAttention(**kw),
 }
 
-#: workload names in the order the paper's figures list them
-#: (insensitive, then reuse sensitive, then throughput sensitive)
+#: workload names: the paper's seventeen in figure order (insensitive,
+#: then reuse sensitive, then throughput sensitive), then the
+#: beyond-paper additions (MHA)
 WORKLOAD_NAMES: tuple[str, ...] = tuple(WORKLOAD_FACTORIES.keys())
 
 

@@ -48,6 +48,26 @@ class Tensor:
         wrapped = index % self.num_elements
         return self.base_address + wrapped * self.element_bytes
 
+    def view(self, start_element: int, num_elements: int, name: str | None = None) -> "Tensor":
+        """A sub-tensor aliasing ``num_elements`` elements from ``start_element``.
+
+        Used by multi-head layers to address one head's slice of a packed
+        tensor (the view shares the parent's storage; no new allocation).
+        """
+        if start_element < 0 or num_elements <= 0:
+            raise ValueError("view bounds must be positive and within the tensor")
+        if start_element + num_elements > self.num_elements:
+            raise ValueError(
+                f"view [{start_element}, {start_element + num_elements}) exceeds "
+                f"tensor {self.name!r} of {self.num_elements} elements"
+            )
+        return Tensor(
+            name=name or f"{self.name}[{start_element}:{start_element + num_elements}]",
+            num_elements=num_elements,
+            element_bytes=self.element_bytes,
+            base_address=self.base_address + start_element * self.element_bytes,
+        )
+
     def element_range(self, start: int, count: int) -> list[int]:
         """Byte addresses of ``count`` consecutive elements starting at ``start``."""
         if count <= 0:

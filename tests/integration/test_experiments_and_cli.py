@@ -130,7 +130,7 @@ class TestTablesAndRendering:
 
     def test_table2_lists_all_workloads(self):
         rows = table2_workloads(scale=0.1)
-        assert len(rows) == 17
+        assert len(rows) == 18
 
     def test_render_series_table_contains_all_cells(self):
         data = {"FwAct": {"A": 1.0, "B": 2.0}, "SGEMM": {"A": 0.5, "B": 0.25}}

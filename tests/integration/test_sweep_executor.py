@@ -79,19 +79,59 @@ class TestStoreReuse:
         assert warm_runner.runs_simulated == 0
         assert grid_dicts(warm) == grid_dicts(cold)
 
-    def test_corrupt_blob_is_a_miss_not_an_error(self, tmp_path):
+    def test_corrupt_blob_is_a_warned_miss_not_an_error(self, tmp_path):
         store = ResultStore(tmp_path)
         job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
         key = job.fingerprint()
         (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
-        assert store.load(key) is None
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.load(key) is None
         (tmp_path / f"{key}.json").write_bytes(b"\xff\xfe garbage")
-        assert store.load(key) is None, "non-UTF-8 blobs are misses, not errors"
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.load(key) is None, "non-UTF-8 blobs are misses, not errors"
         executor = SweepExecutor(store=store)
-        (report,) = executor.run([job])
+        with pytest.warns(RuntimeWarning, match="re-simulating"):
+            (report,) = executor.run([job])
         assert executor.stats.runs_simulated == 1
         loaded = store.load(key)
         assert loaded is not None and loaded.to_dict() == report.to_dict()
+
+    def test_truncated_entry_is_skipped_warned_and_resimulated(self, tmp_path):
+        """A valid entry truncated on disk (full disk, killed writer) heals."""
+        store = ResultStore(tmp_path)
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        key = job.fingerprint()
+        first = SweepExecutor(store=store)
+        (original,) = first.run([job])
+        path = tmp_path / f"{key}.json"
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+
+        second = SweepExecutor(store=store)
+        with pytest.warns(RuntimeWarning, match="malformed JSON"):
+            (healed,) = second.run([job])
+        assert second.stats.runs_simulated == 1 and second.stats.runs_loaded == 0
+        assert healed.to_dict() == original.to_dict()
+        # the store healed itself: the entry is valid (and warning-free) again
+        reloaded = store.load(key)
+        assert reloaded is not None and reloaded.to_dict() == original.to_dict()
+
+    def test_stale_schema_entry_is_a_silent_miss(self, tmp_path):
+        """Old-schema blobs are expected staleness, not corruption."""
+        import json
+        import warnings as warnings_module
+
+        store = ResultStore(tmp_path)
+        job = JobSpec(workload="FwSoft", policy=CACHE_R, scale=SCALE, config=TINY)
+        key = job.fingerprint()
+        SweepExecutor(store=store).run([job])
+        path = tmp_path / f"{key}.json"
+        blob = json.loads(path.read_text(encoding="utf-8"))
+        blob["schema"] = -1
+        path.write_text(json.dumps(blob), encoding="utf-8")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert store.load(key) is None
 
     def test_interrupted_batch_keeps_finished_cells(self, tmp_path):
         """Results are persisted as they finish, not when the batch ends."""

@@ -256,11 +256,13 @@ class TestClassification:
         with pytest.raises(KeyError):
             classify({"CacheR": 1.0})
 
-    def test_paper_categories_cover_all_17_workloads(self):
-        assert len(PAPER_CATEGORIES) == 17
+    def test_paper_categories_cover_all_registered_workloads(self):
+        # the paper's 17 plus the beyond-paper MHA entry
+        assert len(PAPER_CATEGORIES) == 18
         assert PAPER_CATEGORIES["FwAct"] is WorkloadCategory.THROUGHPUT_SENSITIVE
         assert PAPER_CATEGORIES["SGEMM"] is WorkloadCategory.MEMORY_INSENSITIVE
         assert PAPER_CATEGORIES["FwFc"] is WorkloadCategory.REUSE_SENSITIVE
+        assert PAPER_CATEGORIES["MHA"] is WorkloadCategory.REUSE_SENSITIVE
 
 
 class TestAdvisor:

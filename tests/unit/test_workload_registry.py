@@ -19,8 +19,9 @@ TEST_SCALE = 0.2
 
 
 class TestRegistry:
-    def test_seventeen_workloads_registered(self):
-        assert len(WORKLOAD_NAMES) == 17
+    def test_eighteen_workloads_registered(self):
+        # the paper's seventeen plus the beyond-paper MHA layer
+        assert len(WORKLOAD_NAMES) == 18
 
     def test_registry_matches_paper_category_table(self):
         assert set(WORKLOAD_NAMES) == set(PAPER_CATEGORIES)
@@ -35,7 +36,7 @@ class TestRegistry:
 
     def test_standard_suite_builds_all(self):
         suite = standard_suite(scale=TEST_SCALE)
-        assert len(suite) == 17
+        assert len(suite) == 18
         assert all(isinstance(w, Workload) for w in suite)
 
     def test_standard_suite_subset(self):
@@ -72,7 +73,7 @@ class TestWorkloadMetadata:
 
     def test_metadata_table_has_one_row_per_workload(self):
         rows = workload_metadata_table(scale=TEST_SCALE)
-        assert len(rows) == 17
+        assert len(rows) == 18
         names = [row["name"] for row in rows]
         assert names == list(WORKLOAD_NAMES)
         for row in rows:
