@@ -1,10 +1,13 @@
-"""Core events/sec smoke benchmark with a committed regression guard.
+"""Core events/sec smoke benchmarks with committed regression guards.
 
 Runs one fixed, deterministic reference simulation (the CM composed model
 at scale 1.0 on the 4-CU system under CacheRW) and records raw event
 throughput to ``BENCH_core_run.json`` at the repository root, so the
 performance trajectory of the simulation core is tracked from PR 2 onward
-(CI uploads the file as an artifact).
+(CI uploads the file as an artifact).  A second smoke replays the same
+workload split across two devices through the multi-device topology path
+(record: ``BENCH_topology_run.json``; committed baseline: the
+``topology`` key of ``BENCH_core.json``).
 
 The baseline constant below is the throughput of the *pre-overhaul* core
 (dataclass heap events, f-string counters, linear tag scans) measured on
@@ -42,6 +45,7 @@ from pathlib import Path
 from repro.config import scaled_config
 from repro.core.policies import CACHE_RW
 from repro.session import SimulationSession
+from repro.topology import TopologyConfig
 from repro.workloads.registry import get_workload
 
 #: pre-overhaul core throughput on the reference run (events/sec),
@@ -74,6 +78,18 @@ MAX_REGRESSION = float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "0.25"))
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_core.json"
 #: per-run measurement record (gitignored; CI uploads it as an artifact)
 BENCH_RUN_PATH = Path(__file__).resolve().parents[1] / "BENCH_core_run.json"
+#: per-run record of the multi-device smoke (gitignored, uploaded like the
+#: core record); its committed baseline lives under the "topology" key of
+#: BENCH_core.json
+BENCH_TOPOLOGY_RUN_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_topology_run.json"
+)
+
+#: the multi-device reference run: the same CM workload split across two
+#: 2-CU devices with the default (chiplet-ish) fabric.  Fixed like the
+#: core reference; re-measure the committed baseline if it must change.
+TOPOLOGY_DEVICES = 2
+TOPOLOGY_CUS_PER_DEVICE = 2
 
 
 def _committed_record() -> dict:
@@ -163,4 +179,82 @@ def test_core_events_per_second():
             f"{floor:,.0f} (baseline {regression_baseline:,}); if this machine "
             "is simply slower than the reference container, set "
             "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured BENCH_core.json"
+        )
+
+
+def test_topology_events_per_second():
+    """Multi-device smoke: the NUMA wiring must not sink core throughput.
+
+    Same reference workload as the core smoke, split across two devices.
+    The multi-device hot path adds one request clone plus interleave
+    arithmetic per slice-bound access, so per-event throughput sits close
+    to the single-device number; this guard (baseline under the
+    ``topology`` key of BENCH_core.json) catches a slice-routing change
+    that accidentally turns the fabric into an event storm.
+    """
+    trace = get_workload(REFERENCE_WORKLOAD, scale=REFERENCE_SCALE).build_trace()
+    topology = TopologyConfig(num_devices=TOPOLOGY_DEVICES)
+
+    def session() -> SimulationSession:
+        return SimulationSession(
+            policy=CACHE_RW,
+            config=scaled_config(TOPOLOGY_CUS_PER_DEVICE),
+            topology=topology,
+        )
+
+    session().run(get_workload(REFERENCE_WORKLOAD, scale=0.1))  # warm-up
+
+    elapsed = None
+    for _ in range(2):
+        run = session()
+        start = time.perf_counter()
+        cycles = run.run(trace).cycles
+        attempt = time.perf_counter() - start
+        events = run.sim.queue.executed
+        if elapsed is None or attempt < elapsed:
+            elapsed = attempt
+
+    events_per_sec = events / elapsed
+    committed = _committed_record().get("topology", {})
+    regression_baseline = committed.get("regression_baseline")
+
+    record = {
+        "schema": 1,
+        "benchmark": "topology_events_per_second",
+        "reference": {
+            "workload": REFERENCE_WORKLOAD,
+            "scale": REFERENCE_SCALE,
+            "num_devices": TOPOLOGY_DEVICES,
+            "cus_per_device": TOPOLOGY_CUS_PER_DEVICE,
+            "policy": CACHE_RW.name,
+        },
+        "events": events,
+        "cycles": cycles,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(events_per_sec),
+        "regression_baseline": regression_baseline,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[:1],
+    }
+    BENCH_TOPOLOGY_RUN_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(
+        f"\ntopology perf smoke: {events} events in {elapsed:.3f}s = "
+        f"{events_per_sec:,.0f} events/sec on {TOPOLOGY_DEVICES} devices, "
+        f"recorded to {BENCH_TOPOLOGY_RUN_PATH.name}"
+    )
+
+    assert events > 0 and cycles > 0
+    assert events_per_sec >= MIN_EVENTS_PER_SEC, (
+        f"multi-device throughput collapsed: {events_per_sec:,.0f} events/sec is "
+        f"below the {MIN_EVENTS_PER_SEC:,} sanity floor; see {BENCH_TOPOLOGY_RUN_PATH}"
+    )
+    if MAX_REGRESSION > 0 and regression_baseline:
+        floor = regression_baseline * (1.0 - MAX_REGRESSION)
+        assert events_per_sec >= floor, (
+            f"multi-device throughput regressed more than {MAX_REGRESSION:.0%} vs "
+            f"the committed baseline: {events_per_sec:,.0f} events/sec < "
+            f"{floor:,.0f} (baseline {regression_baseline:,}); if this machine "
+            "is simply slower than the reference container, set "
+            "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured baseline"
         )

@@ -9,7 +9,12 @@ The package provides:
   rinsing, PC-based L2 bypassing);
 * synthetic trace generators for the seventeen MI workloads of Table 2;
 * experiment drivers that regenerate every table and figure of the paper's
-  evaluation.
+  evaluation;
+* an online adaptive policy subsystem (:mod:`repro.adaptive`) and a
+  multi-device NUMA topology subsystem (:mod:`repro.topology`) that go
+  beyond the paper: set-dueling policy selection at runtime, and
+  chiplet/multi-GPU systems with distributed L2 slices joined by a
+  latency/bandwidth-modelled fabric.
 
 Quickstart::
 
@@ -58,6 +63,12 @@ from repro.core import (
 )
 from repro.session import SimulationSession, simulate
 from repro.stats import PolicyComparison, RunReport
+from repro.topology import (
+    TOPOLOGIES,
+    TOPOLOGY_NAMES,
+    TopologyConfig,
+    topology_by_name,
+)
 from repro.workloads import (
     WORKLOAD_NAMES,
     Workload,
@@ -103,6 +114,11 @@ __all__ = [
     "DynamicPolicyEngine",
     "PhaseDetector",
     "SetDuelingMonitor",
+    # multi-device NUMA topologies
+    "TopologyConfig",
+    "TOPOLOGIES",
+    "TOPOLOGY_NAMES",
+    "topology_by_name",
     # simulation
     "SimulationSession",
     "simulate",

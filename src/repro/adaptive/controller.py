@@ -51,6 +51,15 @@ class DynamicPolicyEngine(PolicyEngine):
             exactly as the static engine would).
         predictor_config / dbi_max_rows: optional component overrides,
             forwarded to :class:`PolicyEngine`.
+        address_to_set: optional override of the address -> monitored-set
+            mapping.  Multi-device sessions pass the *slice-local* set
+            index here (the L2 slices operate on re-addressed local
+            partition addresses), so the leader a request is annotated
+            for at demand time is the same leader whose set the home
+            slice's miss/bypass/stall/remote hooks will charge --
+            otherwise duel numerators and denominators would be keyed in
+            different index spaces.  ``None`` (every single-device run)
+            keeps the plain global formula.
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class DynamicPolicyEngine(PolicyEngine):
         row_of: Optional[Callable[[int], int]] = None,
         predictor_config: Optional[PredictorConfig] = None,
         dbi_max_rows: Optional[int] = None,
+        address_to_set: Optional[Callable[[int], int]] = None,
     ) -> None:
         super().__init__(
             adaptive.initial_policy,
@@ -84,6 +94,7 @@ class DynamicPolicyEngine(PolicyEngine):
         }
         self._line_bytes = l2_config.line_bytes
         self._num_sets = l2_config.num_sets
+        self._address_to_set = address_to_set
         self._active_index = adaptive.start_index
         self._active_spec = adaptive.initial_policy
         # pinned configurations have nothing to learn, so they never pay
@@ -135,7 +146,10 @@ class DynamicPolicyEngine(PolicyEngine):
         L1s would do.
         """
         if self._exploring:
-            set_index = (request.address // self._line_bytes) % self._num_sets
+            if self._address_to_set is None:
+                set_index = (request.address // self._line_bytes) % self._num_sets
+            else:
+                set_index = self._address_to_set(request.address)
             candidate = self._leader_index.get(set_index)
         else:
             candidate = None

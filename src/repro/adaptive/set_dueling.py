@@ -57,6 +57,11 @@ COST_STORE_ALLOCATE = 1
 #: default stall-to-traffic conversion: this many blocked cycles at a
 #: leader set cost as much as moving one half-line downstream
 STALL_HALFLINE_CYCLES = 25
+#: extra half-lines a *remote* (cross-fabric) access costs on top of its
+#: traffic: the request crosses the inter-device fabric once regardless of
+#: whether the home slice then hits, so remote and local traffic score
+#: separately.  Only multi-device hierarchies ever record this.
+COST_REMOTE_HOP = 1
 
 
 @dataclass(frozen=True)
@@ -67,13 +72,18 @@ class DuelScore:
     accesses: int
     traffic: int
     stall_halflines: int = 0
+    remote_halflines: int = 0
 
     @property
     def cost_per_access(self) -> float:
-        """Half-lines of traffic-plus-stall cost per demand access (lower wins)."""
+        """Half-lines of traffic-plus-stall-plus-fabric cost per demand
+        access (lower wins).  ``remote_halflines`` is zero outside
+        multi-device topologies, where local and remote traffic are scored
+        separately because a remote line costs a fabric crossing on top of
+        whatever the home slice then does with it."""
         if not self.accesses:
             return 0.0
-        return (self.traffic + self.stall_halflines) / self.accesses
+        return (self.traffic + self.stall_halflines + self.remote_halflines) / self.accesses
 
 
 class SetDuelingMonitor:
@@ -145,6 +155,7 @@ class SetDuelingMonitor:
         self._accesses = [0] * len(self.candidates)
         self._traffic = [0] * len(self.candidates)
         self._stall_cycles = [0] * len(self.candidates)
+        self._remote = [0] * len(self.candidates)
         counter = stats.counter
         self._c_accesses = [
             counter(f"adaptive.duel.{policy.name}.leader_accesses")
@@ -156,6 +167,10 @@ class SetDuelingMonitor:
         ]
         self._c_stalls = [
             counter(f"adaptive.duel.{policy.name}.leader_stall_cycles")
+            for policy in self.candidates
+        ]
+        self._c_remote = [
+            counter(f"adaptive.duel.{policy.name}.leader_remote_traffic")
             for policy in self.candidates
         ]
 
@@ -206,6 +221,24 @@ class SetDuelingMonitor:
         self._traffic[candidate] += COST_FETCH
         self._c_traffic[candidate].add(COST_FETCH)
 
+    def record_remote(self, set_index: int) -> None:
+        """One cross-fabric access arrived at a leader set's home slice.
+
+        Called by the multi-device hierarchy when it routes a request to a
+        remote L2 slice, keyed by the *local* set index the slice will
+        use.  Remote traffic accumulates separately from the ordinary
+        miss/bypass traffic so the duel can see that a caching candidate
+        which keeps remote lines resident saves fabric crossings, not just
+        DRAM accesses.  Never called in single-device systems.
+        """
+        if not self.enabled:
+            return
+        candidate = self._leader_of.get(set_index)
+        if candidate is None:
+            return
+        self._remote[candidate] += COST_REMOTE_HOP
+        self._c_remote[candidate].add(COST_REMOTE_HOP)
+
     def record_stall(self, set_index: int, cycles: int) -> None:
         """Charge a blocked allocation's wait to the set's leader (if any)."""
         if not self.enabled:
@@ -227,9 +260,14 @@ class SetDuelingMonitor:
                 accesses=accesses,
                 traffic=traffic,
                 stall_halflines=stalls // self.stall_halfline_cycles,
+                remote_halflines=remote,
             )
-            for policy, accesses, traffic, stalls in zip(
-                self.candidates, self._accesses, self._traffic, self._stall_cycles
+            for policy, accesses, traffic, stalls, remote in zip(
+                self.candidates,
+                self._accesses,
+                self._traffic,
+                self._stall_cycles,
+                self._remote,
             )
         ]
 
@@ -244,6 +282,7 @@ class SetDuelingMonitor:
         self._accesses = [value >> 1 for value in self._accesses]
         self._traffic = [value >> 1 for value in self._traffic]
         self._stall_cycles = [value >> 1 for value in self._stall_cycles]
+        self._remote = [value >> 1 for value in self._remote]
 
     def reset(self) -> None:
         """Clear the windowed accumulators (start of an exploration window).
@@ -255,6 +294,7 @@ class SetDuelingMonitor:
         self._accesses = [0] * len(self.candidates)
         self._traffic = [0] * len(self.candidates)
         self._stall_cycles = [0] * len(self.candidates)
+        self._remote = [0] * len(self.candidates)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = ",".join(policy.name for policy in self.candidates)

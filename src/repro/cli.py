@@ -3,8 +3,10 @@
 Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 ``python -m repro.cli``.  Subcommands:
 
-* ``list``      -- show the available workloads and policies.
-* ``run``       -- simulate one workload under one policy and print the report.
+* ``list``      -- show the available workloads, policies, adaptive
+  candidates and registered topologies (``--json`` for scripts and CI).
+* ``run``       -- simulate one workload under one policy (optionally on a
+  registered multi-device topology) and print the report.
 * ``sweep``     -- simulate a workload under several policies and print a
   normalized comparison.
 * ``sweep-all`` -- materialize the full (workload x policy) grid once and
@@ -12,8 +14,12 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 * ``adaptive``  -- run the online dynamic-policy study (Figure 14): every
   workload under set-dueling + phase-aware policy selection, compared with
   the static envelope and the paper's optimization stack.
+* ``topology``  -- run the device-scaling study: policies across 1/2/4-device
+  NUMA systems (speedup + remote-traffic fraction per cell).
 * ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
+* ``cache``     -- persistent result-store lifecycle: ``stats``, ``clear``,
+  ``prune --max-age-days N``.
 
 The global ``--jobs N`` flag fans independent simulations out across ``N``
 worker processes, and ``--cache-dir`` points sweeps at a persistent result
@@ -25,6 +31,7 @@ store; pass ``--no-cache`` to opt out).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
@@ -51,8 +58,17 @@ from repro.experiments import (
     table2_workloads,
 )
 from repro.experiments.render import render_kv_table
-from repro.experiments.store import default_cache_dir
+from repro.experiments.scaling import (
+    SCALING_DEVICES,
+    SCALING_WORKLOADS,
+    figure_scaling,
+    scaling_artifact,
+    scaling_series,
+    scaling_summary,
+)
+from repro.experiments.store import ResultStore, default_cache_dir
 from repro.session import simulate
+from repro.topology import TOPOLOGIES, TOPOLOGY_NAMES, TopologyConfig, topology_by_name
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
 __all__ = ["main", "build_parser"]
@@ -128,11 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list workloads and policies")
+    list_parser = subparsers.add_parser(
+        "list", help="list workloads, policies, adaptive candidates and topologies"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registries as JSON (for scripts and CI)",
+    )
 
     run = subparsers.add_parser("run", help="simulate one workload under one policy")
     run.add_argument("--workload", required=True, choices=list(WORKLOAD_NAMES))
     run.add_argument("--policy", required=True)
+    run.add_argument(
+        "--topology", default=None, choices=list(TOPOLOGY_NAMES),
+        help="simulate on a registered multi-device topology",
+    )
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     sweep = subparsers.add_parser("sweep", help="compare several policies on one workload")
@@ -200,6 +226,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(adaptive)
 
+    topology = subparsers.add_parser(
+        "topology",
+        help="run the device-scaling study (1/2/4-device NUMA systems)",
+    )
+    topology.add_argument(
+        "--devices", nargs="+", type=int, default=list(SCALING_DEVICES), metavar="N",
+        help="device counts to sweep (must include the 1-device baseline)",
+    )
+    topology.add_argument(
+        "--workloads", nargs="+", default=None, choices=list(WORKLOAD_NAMES),
+        help=f"subset of workloads (default: {' '.join(SCALING_WORKLOADS)})",
+    )
+    topology.add_argument(
+        "--policies",
+        nargs="+",
+        default=[p.name for p in STATIC_POLICIES],
+        help="policy names (default: the three static policies)",
+    )
+    topology.add_argument(
+        "--fabric", default=None, choices=list(TOPOLOGY_NAMES), metavar="NAME",
+        help="registered topology whose fabric parameters the sweep holds fixed",
+    )
+    topology.add_argument(
+        "--remote-latency", type=int, default=None, metavar="CYCLES",
+        help="one-way fabric latency override",
+    )
+    topology.add_argument(
+        "--fabric-bandwidth", type=float, default=None, metavar="RPC",
+        help="fabric link bandwidth override (requests/cycle)",
+    )
+    topology.add_argument(
+        "--interleave-lines", type=int, default=None, metavar="N",
+        help="cache lines per device interleave chunk",
+    )
+    topology.add_argument(
+        "--replicate-weights", action="store_true",
+        help="replicate shared read-only (weight) lines per device",
+    )
+    topology.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the figure data and summary as JSON (CI artifact)",
+    )
+    _add_executor_options(topology)
+
+    cache = subparsers.add_parser(
+        "cache", help="persistent result-store lifecycle (stats/clear/prune)"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
+    cache.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="prune: delete entries older than this many days (required)",
+    )
+    cache.add_argument("--json", action="store_true", help="emit the result as JSON")
+    _add_executor_options(cache)
+
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", choices=sorted(_FIGURES, key=int))
     figure.add_argument(
@@ -243,7 +324,49 @@ def _runner(
     )
 
 
-def _cmd_list() -> int:
+def _list_payload() -> dict[str, object]:
+    """The registries as primitives: what ``list --json`` emits.
+
+    CI and scripts enumerate scenarios from this instead of parsing the
+    human-formatted table, so the schema is part of the CLI contract.
+    """
+    return {
+        "schema": 1,
+        "workloads": [
+            {
+                "name": name,
+                "suite": workload.metadata.suite,
+                "description": workload.metadata.description,
+            }
+            for name, workload in (
+                (name, get_workload(name)) for name in WORKLOAD_NAMES
+            )
+        ],
+        "policies": [
+            {
+                "name": policy.name,
+                "cache_loads_l1": policy.cache_loads_l1,
+                "cache_loads_l2": policy.cache_loads_l2,
+                "cache_stores_l2": policy.cache_stores_l2,
+                "allocation_bypass": policy.allocation_bypass,
+                "cache_rinsing": policy.cache_rinsing,
+                "pc_bypass": policy.pc_bypass,
+            }
+            for policy in ALL_POLICIES
+        ],
+        "adaptive": {
+            "default_candidates": [p.name for p in AdaptiveConfig().candidates],
+        },
+        "topologies": {
+            name: topology.describe() for name, topology in TOPOLOGIES.items()
+        },
+    }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(_list_payload(), indent=1, sort_keys=True))
+        return 0
     print("Workloads:")
     for name in WORKLOAD_NAMES:
         workload = get_workload(name)
@@ -255,17 +378,30 @@ def _cmd_list() -> int:
             f"stores L2: {policy.cache_stores_l2}  AB/CR/PCby: "
             f"{policy.allocation_bypass}/{policy.cache_rinsing}/{policy.pc_bypass}"
         )
+    print("\nAdaptive candidates (default):")
+    print("  " + ", ".join(p.name for p in AdaptiveConfig().candidates))
+    print("\nTopologies:")
+    for name, topology in TOPOLOGIES.items():
+        print(
+            f"  {name:14s} devices: {topology.num_devices}  "
+            f"remote latency: {topology.remote_latency_cycles}cy  "
+            f"fabric: {topology.fabric_requests_per_cycle} req/cy"
+        )
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     policy = policy_by_name(args.policy)
-    report = simulate(workload, policy, config=_system_config(args))
+    topology = topology_by_name(args.topology) if args.topology else None
+    report = simulate(workload, policy, config=_system_config(args), topology=topology)
+    label = f"{args.workload} under {policy.name}"
+    if topology is not None:
+        label += f" on {topology.label}"
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
-        print(render_kv_table(f"{args.workload} under {policy.name}", report.as_dict()))
+        print(render_kv_table(label, report.as_dict()))
     return 0
 
 
@@ -392,6 +528,144 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topology(args: argparse.Namespace) -> int:
+    """Run the device-scaling study and print/record its figure.
+
+    Like ``sweep-all`` and ``adaptive``, the command defaults to the
+    conventional persistent store: every cell's fingerprint includes the
+    :class:`TopologyConfig`, so a warm repeat simulates nothing and the
+    cache-effectiveness line on stderr proves it.
+    """
+    devices = sorted(set(args.devices))
+    if 1 not in devices:
+        print(
+            "error: --devices must include the 1-device baseline "
+            "(speedups are normalized to it)",
+            file=sys.stderr,
+        )
+        return 2
+    if any(count < 1 for count in devices):
+        print("error: device counts must be positive", file=sys.stderr)
+        return 2
+    base = topology_by_name(args.fabric) if args.fabric else TopologyConfig()
+    overrides: dict[str, object] = {}
+    if args.remote_latency is not None:
+        overrides["remote_latency_cycles"] = args.remote_latency
+    if args.fabric_bandwidth is not None:
+        overrides["fabric_requests_per_cycle"] = args.fabric_bandwidth
+    if args.interleave_lines is not None:
+        overrides["interleave_lines"] = args.interleave_lines
+    if args.replicate_weights:
+        overrides["replicate_weights"] = True
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    workload_names = tuple(args.workloads) if args.workloads else SCALING_WORKLOADS
+    runner = ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        workload_names=workload_names,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    policies = [policy_by_name(name) for name in args.policies]
+    figure = figure_scaling(
+        runner,
+        devices=devices,
+        policies=policies,
+        workload_names=workload_names,
+        topology=base,
+    )
+    summary = scaling_summary(figure)
+    print(
+        render_series_table(
+            "Device scaling: speedup over the same policy at 1 device",
+            scaling_series(figure, "speedup"),
+        )
+    )
+    print(
+        render_series_table(
+            "Device scaling: remote traffic fraction",
+            scaling_series(figure, "remote_fraction"),
+        )
+    )
+    print(
+        render_series_table(
+            "Device scaling summary (geomean speedup / mean remote fraction)",
+            summary,
+        )
+    )
+
+    if args.json_out:
+        blob = scaling_artifact(
+            figure,
+            summary,
+            devices=devices,
+            workload_names=workload_names,
+            fabric=base.describe(),
+            fingerprints={
+                str(count): base.with_devices(count).fingerprint()
+                for count in devices
+            },
+            scale=args.scale,
+            cus_per_device=runner.config.gpu.num_cus,
+            policies=[p.name for p in policies],
+        )
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[topology] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    stats = runner.stats()
+    print(
+        f"[topology] grid={len(workload_names)}x{len(policies)}x{len(devices)} "
+        f"jobs={args.jobs} store={cache_dir or 'disabled'} "
+        f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Result-store lifecycle: occupancy stats, full clear, age-based prune."""
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    if cache_dir is None:
+        print("error: cache command needs a store (--cache-dir)", file=sys.stderr)
+        return 2
+    from pathlib import Path
+
+    if not Path(cache_dir).expanduser().is_dir():
+        # the lifecycle commands inspect an existing store; creating a
+        # directory as a side effect would make a typo look like a
+        # healthy empty store
+        print(f"error: no result store at {cache_dir}", file=sys.stderr)
+        return 2
+    if args.action == "prune":
+        if args.max_age_days is None:
+            print("error: cache prune requires --max-age-days", file=sys.stderr)
+            return 2
+        if args.max_age_days < 0:
+            print("error: --max-age-days must be non-negative", file=sys.stderr)
+            return 2
+    store = ResultStore(cache_dir)
+    if args.action == "stats":
+        payload: dict[str, object] = dict(store.stats())
+    elif args.action == "clear":
+        payload = {"root": str(store.root), "removed": store.clear()}
+    else:  # prune
+        payload = {
+            "root": str(store.root),
+            "max_age_days": args.max_age_days,
+            "removed": store.prune(args.max_age_days),
+        }
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(render_kv_table(f"Result store {args.action}", payload))
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == "1":
         tables = table1_system_configuration(config=_system_config(args))
@@ -421,7 +695,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--jobs must be at least 1, got {args.jobs}")
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":
@@ -430,6 +704,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep_all(args)
         if args.command == "adaptive":
             return _cmd_adaptive(args)
+        if args.command == "topology":
+            return _cmd_topology(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "figure":
             return _cmd_figure(args)
         if args.command == "table":

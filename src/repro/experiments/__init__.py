@@ -15,6 +15,9 @@ Each module corresponds to a block of the paper's evaluation:
 * :mod:`repro.experiments.adaptive` -- Figure 14: the online dynamic
   policy (set dueling + phase detection) against the static envelope and
   the optimization stack.
+* :mod:`repro.experiments.scaling` -- the device-scaling study: policies
+  across 1/2/4-device NUMA topologies (speedup and remote-traffic
+  fraction per cell).
 * :mod:`repro.experiments.jobs` -- the job-based sweep executor:
   :class:`JobSpec` grid cells, serial and process-pool backends, and the
   store-aware :class:`SweepExecutor`.
@@ -53,6 +56,11 @@ from repro.experiments.adaptive import (
     adaptive_sweep,
     figure14_adaptive,
 )
+from repro.experiments.scaling import (
+    figure_scaling,
+    scaling_summary,
+    scaling_topologies,
+)
 from repro.experiments.tables import table1_system_configuration, table2_workloads
 from repro.experiments.render import render_series_table
 
@@ -81,6 +89,9 @@ __all__ = [
     "adaptive_sweep",
     "figure14_adaptive",
     "adaptive_summary",
+    "figure_scaling",
+    "scaling_summary",
+    "scaling_topologies",
     "table1_system_configuration",
     "table2_workloads",
     "render_series_table",

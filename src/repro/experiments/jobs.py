@@ -36,6 +36,7 @@ from repro.experiments.store import ResultStore
 from repro.fingerprint import fingerprint
 from repro.session import simulate
 from repro.stats.report import RunReport
+from repro.topology.config import TopologyConfig
 from repro.workloads.registry import get_workload
 
 __all__ = [
@@ -64,6 +65,10 @@ class JobSpec:
         adaptive: when given, the run uses the online adaptive subsystem
             (set dueling + phase-aware dynamic policy selection) instead of
             the static ``policy``.
+        topology: when given, the run simulates a multi-device NUMA system
+            (``config`` then describes one device); the topology is part
+            of the fingerprint, so runs at different device counts or
+            fabric parameters never share a store entry.
     """
 
     workload: str
@@ -73,6 +78,7 @@ class JobSpec:
     predictor_config: Optional[PredictorConfig] = None
     dbi_max_rows: Optional[int] = None
     adaptive: Optional[AdaptiveConfig] = None
+    topology: Optional[TopologyConfig] = None
 
     def fingerprint(self) -> str:
         """Stable key over every input that can affect the result.
@@ -90,6 +96,9 @@ class JobSpec:
                 "predictor_config": self.predictor_config,
                 "dbi_max_rows": self.dbi_max_rows,
                 "adaptive": self.adaptive,
+                # physical parameters only: the display name must not
+                # split identical simulations across store entries
+                "topology": None if self.topology is None else self.topology.describe(),
             },
             kind="JobSpec",
         )
@@ -105,6 +114,9 @@ class JobSpec:
         if self.adaptive is not None:
             summary["adaptive"] = self.adaptive.name
             summary["candidates"] = [p.name for p in self.adaptive.candidates]
+        if self.topology is not None:
+            summary["topology"] = self.topology.label
+            summary["num_devices"] = self.topology.num_devices
         return summary
 
 
@@ -118,6 +130,7 @@ def execute_job(job: JobSpec) -> RunReport:
         predictor_config=job.predictor_config,
         dbi_max_rows=job.dbi_max_rows,
         adaptive=job.adaptive,
+        topology=job.topology,
     )
 
 

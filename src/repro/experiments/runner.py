@@ -29,6 +29,7 @@ from repro.experiments.jobs import (
 from repro.experiments.store import ResultStore
 from repro.stats.comparison import PolicyComparison
 from repro.stats.report import RunReport
+from repro.topology.config import TopologyConfig
 from repro.workloads.registry import WORKLOAD_NAMES
 
 __all__ = ["ExperimentRunner", "SweepResult"]
@@ -203,6 +204,62 @@ class ExperimentRunner:
             for name, report in zip(pending, reports):
                 self._cache[(name, memo_tag)] = report
         return {name: self._cache[(name, memo_tag)] for name in names}
+
+    # ------------------------------------------------------------------
+    def topology_job_for(
+        self, workload_name: str, policy: PolicySpec, topology: TopologyConfig
+    ) -> JobSpec:
+        """The :class:`JobSpec` for one multi-device (topology) run."""
+        return JobSpec(
+            workload=workload_name,
+            policy=policy,
+            scale=self.scale,
+            config=self.config,
+            topology=topology,
+        )
+
+    def topology_sweep(
+        self,
+        policies: Iterable[PolicySpec],
+        topologies: Sequence[TopologyConfig],
+        workload_names: Optional[Sequence[str]] = None,
+    ) -> dict[tuple[str, str, str], RunReport]:
+        """One run per (workload, policy, topology) cell, memoized.
+
+        Returns reports keyed by ``(workload, policy name, topology
+        fingerprint)``.  Cells missing from the in-process memo are
+        submitted to the executor as a single batch -- the parallel
+        fan-out point -- and, with a store attached, persist under
+        fingerprints that include the :class:`TopologyConfig`, so a warm
+        repeat of a scaling sweep performs zero simulations.
+        """
+        names = tuple(workload_names or self.workload_names)
+        policy_list = tuple(policies)
+        grid: list[tuple[str, PolicySpec, TopologyConfig, str]] = [
+            (name, policy, topology, topology.fingerprint())
+            for name in names
+            for policy in policy_list
+            for topology in topologies
+        ]
+        pending = [
+            cell
+            for cell in grid
+            if (cell[0], f"{cell[1].name}@topo:{cell[3]}") not in self._cache
+        ]
+        self._memo_hits += len(grid) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [
+                    self.topology_job_for(name, policy, topology)
+                    for name, policy, topology, _tag in pending
+                ]
+            )
+            for (name, policy, _topology, tag), report in zip(pending, reports):
+                self._cache[(name, f"{policy.name}@topo:{tag}")] = report
+        return {
+            (name, policy.name, tag): self._cache[(name, f"{policy.name}@topo:{tag}")]
+            for name, policy, _topology, tag in grid
+        }
 
     # ------------------------------------------------------------------
     def cached_runs(self) -> int:

@@ -1,0 +1,169 @@
+"""The device-scaling study: cache policies across 1/2/4-device systems.
+
+The paper evaluates its policies on one GPU; modern MI training runs on
+multi-chiplet packages and multi-GPU nodes where the local-vs-remote
+asymmetry of a distributed L2 dominates how much a caching policy can pay
+off.  This driver sweeps (workload x policy x device count) through the
+shared :class:`~repro.experiments.jobs.SweepExecutor` -- every cell is an
+ordinary :class:`~repro.experiments.jobs.JobSpec` whose fingerprint
+includes the :class:`~repro.topology.config.TopologyConfig`, so the cells
+parallelize across worker processes and persist in the result store
+exactly like static and adaptive runs (a warm repeat simulates nothing).
+
+Two quantities are reported per cell:
+
+* **speedup** -- execution time at 1 device divided by execution time at
+  N devices, same policy (strong scaling: a fixed workload is split
+  across N devices, each adding CUs, an L2 slice and a DRAM partition,
+  so ideal is N and the distance below N is what the fabric + NUMA
+  effects cost);
+* **remote fraction** -- the fraction of slice-bound requests homed on a
+  remote device (always 0 at 1 device).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.policies import STATIC_POLICIES, PolicySpec
+from repro.experiments.adaptive import geomean
+from repro.experiments.runner import ExperimentRunner
+from repro.topology.config import TopologyConfig
+
+__all__ = [
+    "SCALING_DEVICES",
+    "SCALING_WORKLOADS",
+    "scaling_topologies",
+    "figure_scaling",
+    "scaling_summary",
+    "scaling_series",
+    "scaling_artifact",
+]
+
+#: device counts of the scaling axis (1 is the baseline)
+SCALING_DEVICES: tuple[int, ...] = (1, 2, 4)
+
+#: default workload subset: one dense GEMM, one streaming-heavy kernel,
+#: one many-kernel RNN, and the transformer attention layer the NUMA
+#: literature singles out as fabric-sensitive
+SCALING_WORKLOADS: tuple[str, ...] = ("DGEMM", "SGEMM", "FwLSTM", "MHA")
+
+
+def scaling_topologies(
+    devices: Sequence[int] = SCALING_DEVICES,
+    template: Optional[TopologyConfig] = None,
+) -> list[TopologyConfig]:
+    """The topology per device count, holding the fabric parameters fixed.
+
+    ``template`` supplies the fabric (defaults to a fresh
+    :class:`TopologyConfig`, the chiplet-ish defaults); only the device
+    count varies along the sweep axis.
+    """
+    base = template or TopologyConfig()
+    return [base.with_devices(n) for n in devices]
+
+
+def figure_scaling(
+    runner: Optional[ExperimentRunner] = None,
+    devices: Sequence[int] = SCALING_DEVICES,
+    policies: Iterable[PolicySpec] = STATIC_POLICIES,
+    workload_names: Optional[Sequence[str]] = None,
+    topology: Optional[TopologyConfig] = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """The scaling figure: speedup and remote fraction per grid cell.
+
+    Returns ``{workload: {"<policy>@<n>dev": {"speedup": s,
+    "remote_fraction": r, "cycles": c}}}``.  The 1-device cells anchor
+    every policy's speedup at 1.0 by construction.
+    """
+    runner = runner or ExperimentRunner()
+    if 1 not in devices:
+        raise ValueError("the scaling sweep needs the 1-device baseline in `devices`")
+    names = tuple(workload_names or SCALING_WORKLOADS)
+    policy_list = tuple(policies)
+    topologies = scaling_topologies(devices, template=topology)
+    by_devices = dict(zip(devices, topologies))
+    reports = runner.topology_sweep(policy_list, topologies, workload_names=names)
+
+    result: dict[str, dict[str, dict[str, float]]] = {}
+    for workload in names:
+        series: dict[str, dict[str, float]] = {}
+        for policy in policy_list:
+            baseline = reports[
+                (workload, policy.name, by_devices[1].fingerprint())
+            ].cycles
+            for count in devices:
+                report = reports[(workload, policy.name, by_devices[count].fingerprint())]
+                series[f"{policy.name}@{count}dev"] = {
+                    "speedup": baseline / report.cycles if report.cycles else 0.0,
+                    "remote_fraction": report.remote_fraction,
+                    "cycles": float(report.cycles),
+                }
+        result[workload] = series
+    return result
+
+
+def scaling_series(
+    figure: Mapping[str, Mapping[str, Mapping[str, float]]], metric: str
+) -> dict[str, dict[str, float]]:
+    """Project one metric (``"speedup"``/``"remote_fraction"``/``"cycles"``)
+    out of the scaling figure, in the shape ``render_series_table`` takes.
+
+    Shared by the CLI and the benchmark so their tables can never drift.
+    """
+    return {
+        workload: {series: cell[metric] for series, cell in data.items()}
+        for workload, data in figure.items()
+    }
+
+
+def scaling_artifact(
+    figure: Mapping[str, Mapping[str, Mapping[str, float]]],
+    summary: Mapping[str, Mapping[str, float]],
+    devices: Sequence[int],
+    workload_names: Sequence[str],
+    **extra: object,
+) -> dict[str, object]:
+    """The JSON blob recorded for the scaling figure (CI artifact schema).
+
+    One schema for every producer (``repro-gpu-cache topology --json-out``
+    and ``benchmarks/test_fig_scaling.py``); producers may attach
+    additional context via ``extra`` (fabric parameters, scale, policies)
+    without changing the core shape consumers read.
+    """
+    blob: dict[str, object] = {
+        "schema": 1,
+        "devices": list(devices),
+        "workloads": list(workload_names),
+        "figure_scaling": {
+            workload: {series: dict(cell) for series, cell in data.items()}
+            for workload, data in figure.items()
+        },
+        "summary": {series: dict(values) for series, values in summary.items()},
+    }
+    blob.update(extra)
+    return blob
+
+
+def scaling_summary(
+    figure: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> dict[str, dict[str, float]]:
+    """Geomean speedup and mean remote fraction of every series.
+
+    Keyed like the figure's series (``"<policy>@<n>dev"``); the summary is
+    what the scaling benchmark asserts on and what the CLI prints last.
+    """
+    series_names: list[str] = []
+    for series in figure.values():
+        for name in series:
+            if name not in series_names:
+                series_names.append(name)
+    summary: dict[str, dict[str, float]] = {}
+    for name in series_names:
+        cells = [series[name] for series in figure.values() if name in series]
+        summary[name] = {
+            "speedup_geomean": geomean(cell["speedup"] for cell in cells),
+            "remote_fraction_mean": sum(cell["remote_fraction"] for cell in cells)
+            / len(cells),
+        }
+    return summary

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import warnings
 from pathlib import Path
 from typing import Iterator, Mapping, Optional
@@ -142,9 +143,15 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
-        """Iterate over the keys currently stored."""
+        """Iterate over the keys currently stored.
+
+        Writer orphans (``.tmp-*.json``, matched by pathlib's dotfile-
+        inclusive glob) are skipped -- their stems are not valid keys and
+        would make ``load`` reject this method's own output.
+        """
         for path in self.root.glob("*.json"):
-            yield path.stem
+            if not path.name.startswith(".tmp-"):
+                yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -162,6 +169,69 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    def prune(self, max_age_days: float) -> int:
+        """Delete blobs older than ``max_age_days``; returns the count removed.
+
+        Age is the entry file's modification time -- a blob is re-written
+        (and therefore refreshed) whenever its cell is re-simulated, so
+        pruning removes results no sweep has produced recently: stale
+        configurations, abandoned scales, and entries from old code
+        versions that the schema/code-digest keys already treat as misses.
+        Leftover ``.tmp-*`` files from crashed writers past the cutoff are
+        removed too (they are invisible to :meth:`load` but hold disk).
+        The benchmark harness's ``.bench_store`` grows without bound
+        otherwise; ``repro-gpu-cache cache prune`` drives this.
+        """
+        if max_age_days < 0:
+            raise ValueError(f"max_age_days must be non-negative, got {max_age_days}")
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = 0
+        # pathlib's glob matches dotfiles, so "*.json" also finds the
+        # ".tmp-*.json" orphans -- union the two patterns by path
+        for path in {*self.root.glob("*.json"), *self.root.glob(".tmp-*")}:
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass  # raced with a writer or another pruner: not our entry to count
+        return removed
+
+    def stats(self) -> dict[str, object]:
+        """Occupancy summary: entry count, bytes on disk, and age range.
+
+        Ages are in days (``None`` when the store is empty); ``stale_tmp``
+        counts orphaned temp files from interrupted writes.  Rendered by
+        ``repro-gpu-cache cache stats``.
+        """
+        now = time.time()
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self.root.glob("*.json"):
+            if path.name.startswith(".tmp-"):
+                continue  # writer orphans are reported via stale_tmp, not entries
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            age = now - stat.st_mtime
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+        stale_tmp = sum(1 for _ in self.root.glob(".tmp-*"))
+        day = 86400.0
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_age_days": round(oldest / day, 3) if oldest is not None else None,
+            "newest_age_days": round(newest / day, 3) if newest is not None else None,
+            "stale_tmp": stale_tmp,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r}, entries={len(self)})"

@@ -3,7 +3,11 @@
 The :class:`Gpu` executes a :class:`~repro.workloads.trace.WorkloadTrace`
 kernel by kernel.  Within a kernel, wavefronts are dispatched to CUs in
 round-robin order as slots free up (mirroring the hardware workgroup
-dispatcher).  When the last wavefront of a kernel completes, the GPU applies
+dispatcher).  In a multi-device topology the dispatcher honours the
+device-affinity tags the workload partitioner stamped on the wavefront
+programs: a tagged wavefront round-robins only over its own device's CU
+block, so data-parallel shards execute next to their home L2 slice and
+DRAM partition.  When the last wavefront of a kernel completes, the GPU applies
 the kernel-boundary synchronization required by the coherence protocol
 (self-invalidation of valid data and a flush of dirty L2 data -- see
 :meth:`repro.memory.hierarchy.MemoryHierarchy.kernel_boundary`), waits for
@@ -36,11 +40,26 @@ class Gpu:
         sim: Simulator,
         stats: StatsCollector,
         hierarchy: MemoryHierarchy,
+        cus_per_device: Optional[int] = None,
     ) -> None:
+        """``cus_per_device`` activates device-affine dispatch: CU block
+        ``[d*cus_per_device, (d+1)*cus_per_device)`` belongs to device
+        ``d`` and only runs wavefronts tagged for it.  ``None`` (every
+        single-device run) keeps the plain global round-robin."""
         self.config = config
         self.sim = sim
         self.stats = stats
         self.hierarchy = hierarchy
+        self.cus_per_device = cus_per_device
+        if cus_per_device is not None:
+            if cus_per_device < 1 or config.gpu.num_cus % cus_per_device != 0:
+                raise ValueError(
+                    f"cus_per_device {cus_per_device} must evenly divide "
+                    f"{config.gpu.num_cus} CUs"
+                )
+            self._num_devices = config.gpu.num_cus // cus_per_device
+            self._pending_by_device: list[deque] = [deque() for _ in range(self._num_devices)]
+            self._next_cu_of_device = [0] * self._num_devices
         self.cus = [
             ComputeUnit(
                 cu_id=cu,
@@ -91,14 +110,36 @@ class Gpu:
         if kernel.num_wavefronts == 0:
             raise ValueError(f"kernel {kernel.name!r} has no wavefronts")
         self._kernel_outstanding = kernel.num_wavefronts
-        self._pending_wavefronts = deque(
-            (next(self._wavefront_ids), self._kernel_index, program)
-            for program in kernel.wavefronts
-        )
+        if self.cus_per_device is None:
+            self._pending_wavefronts = deque(
+                (next(self._wavefront_ids), self._kernel_index, program)
+                for program in kernel.wavefronts
+            )
+        else:
+            for index, program in enumerate(kernel.wavefronts):
+                # untagged wavefronts (a raw trace run on a multi-device
+                # system) are spread round-robin so no device sits idle
+                device = program.device if program.device is not None else index % self._num_devices
+                if not (0 <= device < self._num_devices):
+                    raise ValueError(
+                        f"wavefront tagged for device {device}, but the system "
+                        f"has {self._num_devices} devices"
+                    )
+                self._pending_by_device[device].append(
+                    (next(self._wavefront_ids), self._kernel_index, program)
+                )
         self._fill_cus()
+
+    def _has_pending_wavefronts(self) -> bool:
+        if self.cus_per_device is not None:
+            return any(self._pending_by_device)
+        return bool(self._pending_wavefronts)
 
     def _fill_cus(self) -> None:
         """Dispatch queued wavefronts onto CUs with free slots, round robin."""
+        if self.cus_per_device is not None:
+            self._fill_cus_per_device()
+            return
         if not self._pending_wavefronts:
             return
         num_cus = len(self.cus)
@@ -113,11 +154,31 @@ class Gpu:
             else:
                 attempts += 1
 
+    def _fill_cus_per_device(self) -> None:
+        """Device-affine dispatch: each device's queue feeds its CU block."""
+        cus_per_device = self.cus_per_device
+        for device, pending in enumerate(self._pending_by_device):
+            if not pending:
+                continue
+            base = device * cus_per_device
+            pointer = self._next_cu_of_device[device]
+            attempts = 0
+            while pending and attempts < cus_per_device:
+                cu = self.cus[base + pointer]
+                pointer = (pointer + 1) % cus_per_device
+                if cu.has_free_slot:
+                    wavefront_id, kernel_id, program = pending.popleft()
+                    cu.start_wavefront(wavefront_id, kernel_id, program)
+                    attempts = 0
+                else:
+                    attempts += 1
+            self._next_cu_of_device[device] = pointer
+
     def _on_wavefront_finished(self, cu_id: int) -> None:
         self._kernel_outstanding -= 1
-        if self._pending_wavefronts:
+        if self._has_pending_wavefronts():
             self._fill_cus()
-        if self._kernel_outstanding == 0 and not self._pending_wavefronts:
+        if self._kernel_outstanding == 0 and not self._has_pending_wavefronts():
             self._kernel_complete()
 
     def _kernel_complete(self) -> None:

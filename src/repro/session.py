@@ -3,7 +3,12 @@
 :func:`simulate` is the main public API: run one workload under one caching
 policy -- static, or *online adaptive* when an
 :class:`~repro.adaptive.config.AdaptiveConfig` is supplied -- and return a
-:class:`~repro.stats.report.RunReport`.
+:class:`~repro.stats.report.RunReport`.  A
+:class:`~repro.topology.config.TopologyConfig` additionally composes the
+single-device model into a multi-device NUMA system: the workload is
+partitioned across the devices and the hierarchy is assembled with
+distributed L2 slices, per-device DRAM partitions and an inter-device
+fabric.
 :class:`SimulationSession` is the underlying object for callers that want
 access to the assembled components (hierarchy, GPU, statistics, and for
 adaptive runs the dynamic controller) -- the examples and some tests use it
@@ -12,6 +17,7 @@ directly.
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Optional
 
 from repro.adaptive.config import AdaptiveConfig
@@ -23,9 +29,11 @@ from repro.core.policy_engine import PolicyEngine
 from repro.core.reuse_predictor import PredictorConfig
 from repro.engine import Simulator
 from repro.gpu.gpu import Gpu
-from repro.memory.address_mapping import AddressMapping
+from repro.memory.address_mapping import AddressMapping, DeviceInterleave
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.stats import RunReport, StatsCollector
+from repro.topology.config import TopologyConfig
+from repro.topology.partition import partition_trace
 from repro.workloads.base import Workload
 from repro.workloads.trace import WorkloadTrace
 
@@ -40,6 +48,9 @@ class SimulationSession:
             Ignored when ``adaptive`` is given -- the adaptive
             configuration's candidates govern the run.
         config: system configuration; defaults to the scaled 8-CU system.
+            With a multi-device topology the configuration describes *one
+            device*: the hardware grows with the device count while the
+            workload stays fixed (strong scaling).
         predictor_config: optional reuse-predictor geometry override.
         dbi_max_rows: optional dirty-block-index capacity bound.
         adaptive: when given, build the online adaptive subsystem instead
@@ -48,6 +59,12 @@ class SimulationSession:
             swapping the follower-set policy at kernel boundaries (and
             optionally mid-kernel).  The run report's policy label is the
             adaptive configuration's display name.
+        topology: when given (and ``num_devices > 1``), assemble a
+            multi-device NUMA system: one L2 slice + DRAM partition per
+            device joined by a fabric, address interleaving across the
+            partitions, device-affine wavefront dispatch, and workload
+            partitioning at :meth:`run`.  A one-device topology is
+            bit-identical to no topology at all.
     """
 
     def __init__(
@@ -57,14 +74,47 @@ class SimulationSession:
         predictor_config: Optional[PredictorConfig] = None,
         dbi_max_rows: Optional[int] = None,
         adaptive: Optional[AdaptiveConfig] = None,
+        topology: Optional[TopologyConfig] = None,
     ) -> None:
         if policy is None and adaptive is None:
             raise ValueError("a session needs a policy or an adaptive configuration")
         self.config = config or default_config()
         self.adaptive = adaptive
+        self.topology = topology
         self.sim = Simulator()
         self.stats = StatsCollector()
-        mapping = AddressMapping(self.config.dram, line_bytes=self.config.l2.line_bytes)
+        num_devices = topology.num_devices if topology is not None else 1
+        #: address -> monitored-L2-set override for the dueling engine;
+        #: stays None on the single-device path (plain global formula)
+        address_to_set = None
+        if num_devices == 1:
+            mapping = AddressMapping(self.config.dram, line_bytes=self.config.l2.line_bytes)
+            row_of = mapping.row_id
+        else:
+            # globally-unique row ids over the partitioned address space;
+            # the per-slice components use their own local mappings (see
+            # MemoryHierarchy), this one serves engine-level consumers
+            interleave = DeviceInterleave(
+                num_devices,
+                line_bytes=self.config.l2.line_bytes,
+                chunk_lines=topology.interleave_lines,
+            )
+            local_mapping = AddressMapping(
+                self.config.dram, line_bytes=self.config.l2.line_bytes
+            )
+
+            def row_of(address: int) -> int:
+                return interleave.global_row_id(local_mapping, address)
+
+            # the slices see re-addressed local partition addresses, so
+            # the duel must key leader lookups by the slice-local set
+            # index -- the same one the slice hooks charge
+            line_bytes = self.config.l2.line_bytes
+            num_sets = self.config.l2.num_sets
+            to_local = interleave.to_local
+
+            def address_to_set(address: int) -> int:
+                return (to_local(address) // line_bytes) % num_sets
 
         self.controller: Optional[DynamicPolicyController] = None
         self.phase_detector: Optional[PhaseDetector] = None
@@ -75,9 +125,10 @@ class SimulationSession:
                 adaptive,
                 l2_config=self.config.l2,
                 stats=self.stats,
-                row_of=mapping.row_id,
+                row_of=row_of,
                 predictor_config=predictor_config,
                 dbi_max_rows=dbi_max_rows,
+                address_to_set=address_to_set,
             )
             self.policy_engine: PolicyEngine = engine
         else:
@@ -85,19 +136,35 @@ class SimulationSession:
             self.policy_label = self.policy.name
             self.policy_engine = PolicyEngine(
                 self.policy,
-                row_of=mapping.row_id,
+                row_of=row_of,
                 predictor_config=predictor_config,
                 dbi_max_rows=dbi_max_rows,
             )
 
-        self.hierarchy = MemoryHierarchy(self.config, self.sim, self.stats, self.policy_engine)
-        self.gpu = Gpu(self.config, self.sim, self.stats, self.hierarchy)
+        self.hierarchy = MemoryHierarchy(
+            self.config, self.sim, self.stats, self.policy_engine, topology=topology
+        )
+        if num_devices == 1:
+            gpu_config = self.config
+            cus_per_device = None
+        else:
+            gpu_config = dc_replace(
+                self.config,
+                gpu=dc_replace(self.config.gpu, num_cus=self.hierarchy.total_cus),
+            )
+            cus_per_device = self.config.gpu.num_cus
+        self.gpu = Gpu(
+            gpu_config, self.sim, self.stats, self.hierarchy, cus_per_device=cus_per_device
+        )
 
         if adaptive is not None:
             engine = self.policy_engine
             assert isinstance(engine, DynamicPolicyEngine)
-            # the duel observes the shared L2 (leader sets are L2 sets)
-            self.hierarchy.l2.set_monitor = engine.monitor
+            # the duel observes the shared L2 (leader sets are L2 sets); in
+            # a multi-device system every slice reports to the one monitor,
+            # so leader constituencies sample all partitions
+            for l2 in self.hierarchy.l2s:
+                l2.set_monitor = engine.monitor
             self.phase_detector = PhaseDetector(
                 self.sim,
                 self.stats,
@@ -116,6 +183,10 @@ class SimulationSession:
     def run(self, workload: Workload | WorkloadTrace) -> RunReport:
         """Execute ``workload`` to completion and return its report."""
         trace = workload.build_trace() if isinstance(workload, Workload) else workload
+        if self.topology is not None:
+            trace = partition_trace(
+                trace, self.topology, line_bytes=self.config.l2.line_bytes
+            )
         finished: list[int] = []
 
         def on_complete() -> None:
@@ -147,6 +218,7 @@ def simulate(
     predictor_config: Optional[PredictorConfig] = None,
     dbi_max_rows: Optional[int] = None,
     adaptive: Optional[AdaptiveConfig] = None,
+    topology: Optional[TopologyConfig] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -158,7 +230,8 @@ def simulate(
 
     Pass ``adaptive=AdaptiveConfig(...)`` instead of a policy to let the
     online controller pick (and re-pick) the policy while the workload
-    runs.
+    runs, and/or ``topology=TopologyConfig(num_devices=...)`` to simulate
+    a multi-device NUMA system.
     """
     session = SimulationSession(
         policy=policy,
@@ -166,5 +239,6 @@ def simulate(
         predictor_config=predictor_config,
         dbi_max_rows=dbi_max_rows,
         adaptive=adaptive,
+        topology=topology,
     )
     return session.run(workload)

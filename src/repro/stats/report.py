@@ -134,6 +134,27 @@ class RunReport:
         total = self.dram_accesses
         return self.dram_row_hits / total if total else 0.0
 
+    # -- NUMA traffic ------------------------------------------------------
+    @property
+    def local_requests(self) -> int:
+        """Line requests served by the issuing device's own L2 slice.
+
+        Zero outside multi-device topology runs (single-device reports do
+        not carry ``topo.*`` counters at all).
+        """
+        return self.get("topo.local_requests")
+
+    @property
+    def remote_requests(self) -> int:
+        """Line requests that crossed the inter-device fabric."""
+        return self.get("topo.remote_requests")
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of slice-bound requests homed on a remote device."""
+        total = self.local_requests + self.remote_requests
+        return self.remote_requests / total if total else 0.0
+
     # -- stalls ------------------------------------------------------------
     @property
     def cache_stall_cycles(self) -> int:
@@ -202,6 +223,7 @@ class RunReport:
             "dram_reads": self.dram_reads,
             "dram_writes": self.dram_writes,
             "dram_row_hit_rate": self.dram_row_hit_rate,
+            "remote_fraction": self.remote_fraction,
             "cache_stall_cycles": self.cache_stall_cycles,
             "cache_stalls_per_request": self.cache_stalls_per_request,
             "l1_hit_rate": self.l1_hit_rate,

@@ -1,0 +1,178 @@
+"""Workload partitioning across devices.
+
+The partitioner turns a single-device :class:`~repro.workloads.trace
+.WorkloadTrace` into a multi-device one: every kernel's wavefronts are
+split across the devices data-parallel style (contiguous blocks, the way a
+data-parallel launch shards its batch), and each wavefront is tagged with
+its device so the dispatcher keeps it on that device's compute units.
+
+Addresses are *not* rewritten in the default mode: the interleave decides
+where every line is homed, and whatever fraction of a wavefront's traffic
+lands on remote chunks pays the fabric penalty -- exactly the NUMA
+behaviour the topology subsystem exists to measure.  The optional
+*replicated-weights* mode rewrites only the loads of lines that are (a)
+read by wavefronts of two or more devices and (b) never stored anywhere in
+the workload: each device gets a private, locally-homed copy, mirroring
+how data-parallel training replicates weight tensors so GEMM/MHA weight
+reuse stays local while activations keep paying the fabric.
+
+With one device the partitioner is the identity (the input trace object is
+returned unchanged), which is part of the one-device bit-identical
+guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.topology.config import TopologyConfig
+from repro.workloads.trace import (
+    KernelTrace,
+    MemInstr,
+    WavefrontProgram,
+    WorkloadTrace,
+)
+
+__all__ = ["partition_trace", "device_wavefront_counts", "shared_read_only_lines"]
+
+
+def _block_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into ``parts`` contiguous, balanced blocks."""
+    base, extra = divmod(count, parts)
+    bounds = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def shared_read_only_lines(trace: WorkloadTrace, num_devices: int) -> set[int]:
+    """Line addresses loaded by >= 2 devices' wavefronts and never stored.
+
+    Device attribution uses the same contiguous block split as
+    :func:`partition_trace`, so the two stay consistent by construction.
+    """
+    stored: set[int] = set()
+    loader_devices: dict[int, set[int]] = defaultdict(set)
+    for kernel in trace.kernels:
+        bounds = _block_bounds(kernel.num_wavefronts, num_devices)
+        for device, (start, end) in enumerate(bounds):
+            for program in kernel.wavefronts[start:end]:
+                for instr in program.memory_instructions:
+                    if instr.is_store:
+                        stored.update(instr.line_addresses)
+                    else:
+                        for address in instr.line_addresses:
+                            loader_devices[address].add(device)
+    return {
+        address
+        for address, devices in loader_devices.items()
+        if len(devices) >= 2 and address not in stored
+    }
+
+
+class _WeightReplicator:
+    """Allocates per-device replica addresses for shared read-only lines.
+
+    Replicas are placed in fresh interleave chunks above every address the
+    trace touches, aligned so a replica for device ``d`` is homed on ``d``.
+    Lines that share an original chunk share a replica chunk slot, so the
+    spatial locality of a weight tensor survives replication.
+    """
+
+    def __init__(
+        self, shared: set[int], max_address: int, topology: TopologyConfig, line_bytes: int
+    ) -> None:
+        self.shared = shared
+        self.line_bytes = line_bytes
+        self.chunk_bytes = line_bytes * topology.interleave_lines
+        self.num_devices = topology.num_devices
+        # first chunk index past the trace, rounded to a device-0 home
+        first_free = max_address // self.chunk_bytes + 1
+        self.base_chunk = ((first_free + self.num_devices - 1) // self.num_devices) * self.num_devices
+        self._slot_of: dict[int, int] = {}
+
+    def replica(self, address: int, device: int) -> int:
+        """Replica address of ``address`` for ``device`` (allocating lazily)."""
+        chunk, offset = divmod(address, self.chunk_bytes)
+        slot = self._slot_of.setdefault(chunk, len(self._slot_of))
+        replica_chunk = self.base_chunk + slot * self.num_devices + device
+        return replica_chunk * self.chunk_bytes + offset
+
+
+def partition_trace(
+    trace: WorkloadTrace, topology: TopologyConfig, line_bytes: int = 64
+) -> WorkloadTrace:
+    """Split ``trace`` across ``topology.num_devices`` devices.
+
+    Every kernel's wavefronts are divided into contiguous, balanced blocks
+    (device 0 gets the first block, and so on) and tagged with their
+    device.  In replicated-weights mode the loads of shared read-only
+    lines are additionally remapped to per-device local copies.  The
+    one-device split returns the input trace unchanged.
+    """
+    if topology.num_devices == 1:
+        return trace
+
+    replicator = None
+    if topology.replicate_weights:
+        shared = shared_read_only_lines(trace, topology.num_devices)
+        if shared:
+            max_address = max(
+                address
+                for kernel in trace.kernels
+                for program in kernel.wavefronts
+                for instr in program.memory_instructions
+                for address in instr.line_addresses
+            )
+            replicator = _WeightReplicator(shared, max_address, topology, line_bytes)
+
+    partitioned = WorkloadTrace(name=trace.name)
+    for kernel in trace.kernels:
+        new_kernel = KernelTrace(name=kernel.name)
+        bounds = _block_bounds(kernel.num_wavefronts, topology.num_devices)
+        for device, (start, end) in enumerate(bounds):
+            for program in kernel.wavefronts[start:end]:
+                instructions = program.instructions
+                if replicator is not None:
+                    instructions = [
+                        _remap_loads(instr, device, replicator) for instr in instructions
+                    ]
+                new_kernel.add_wavefront(
+                    WavefrontProgram(
+                        instructions=list(instructions),
+                        workgroup_id=program.workgroup_id,
+                        device=device,
+                    )
+                )
+        partitioned.add_kernel(new_kernel)
+    return partitioned
+
+
+def _remap_loads(instr, device: int, replicator: _WeightReplicator):
+    """Point a load's shared read-only lines at ``device``'s replicas."""
+    if not isinstance(instr, MemInstr) or instr.is_store:
+        return instr
+    shared = replicator.shared
+    if not any(address in shared for address in instr.line_addresses):
+        return instr
+    return MemInstr(
+        access=instr.access,
+        line_addresses=tuple(
+            replicator.replica(address, device) if address in shared else address
+            for address in instr.line_addresses
+        ),
+        pc=instr.pc,
+    )
+
+
+def device_wavefront_counts(trace: WorkloadTrace) -> dict[int, int]:
+    """Wavefronts per device tag across the whole trace (None keys excluded)."""
+    counts: dict[int, int] = defaultdict(int)
+    for kernel in trace.kernels:
+        for program in kernel.wavefronts:
+            if program.device is not None:
+                counts[program.device] += 1
+    return dict(counts)

@@ -17,7 +17,7 @@ serialized and property-tested independently of the timing model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.memory.request import AccessType
 
@@ -84,10 +84,18 @@ Instruction = Union[ComputeInstr, MemInstr]
 
 @dataclass
 class WavefrontProgram:
-    """The instruction stream of one wavefront."""
+    """The instruction stream of one wavefront.
+
+    ``device`` is the device-affinity tag set by the topology workload
+    partitioner (:mod:`repro.topology.partition`): a tagged wavefront is
+    dispatched only to compute units of that device.  ``None`` -- every
+    trace outside a multi-device run -- means no affinity and the plain
+    global round-robin dispatch.
+    """
 
     instructions: list[Instruction] = field(default_factory=list)
     workgroup_id: int = 0
+    device: Optional[int] = None
 
     def append(self, instruction: Instruction) -> None:
         self.instructions.append(instruction)
