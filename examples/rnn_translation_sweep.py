@@ -10,10 +10,12 @@ per-timestep weight and state traffic the GPU L2 absorbs.
 
 Run with::
 
-    python examples/rnn_translation_sweep.py
+    python examples/rnn_translation_sweep.py [scale]
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro import CACHE_RW_PCBY, UNCACHED, default_config, simulate
 from repro.experiments.render import render_series_table
@@ -21,6 +23,7 @@ from repro.workloads.deepbench import RnnForward, RnnForwardBackward
 
 
 def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
     config = default_config()
     exec_rows: dict[str, dict[str, float]] = {}
     dram_rows: dict[str, dict[str, float]] = {}
@@ -39,7 +42,7 @@ def main() -> int:
         dram_rows[label] = {}
         baseline_cycles = baseline_dram = None
         for policy in (UNCACHED, CACHE_RW_PCBY):
-            workload = factory(**kwargs)
+            workload = factory(scale=scale, **kwargs)
             print(f"simulating {label} under {policy.name} ...")
             report = simulate(workload, policy, config=config)
             if baseline_cycles is None:

@@ -10,11 +10,13 @@ The package provides:
 * synthetic trace generators for the seventeen MI workloads of Table 2;
 * experiment drivers that regenerate every table and figure of the paper's
   evaluation;
-* an online adaptive policy subsystem (:mod:`repro.adaptive`) and a
-  multi-device NUMA topology subsystem (:mod:`repro.topology`) that go
-  beyond the paper: set-dueling policy selection at runtime, and
-  chiplet/multi-GPU systems with distributed L2 slices joined by a
-  latency/bandwidth-modelled fabric.
+* an online adaptive policy subsystem (:mod:`repro.adaptive`), a
+  multi-device NUMA topology subsystem (:mod:`repro.topology`) and a
+  multi-tenant serving subsystem (:mod:`repro.streams`) that go beyond
+  the paper: set-dueling policy selection at runtime, chiplet/multi-GPU
+  systems with distributed L2 slices joined by a latency/bandwidth-
+  modelled fabric, and concurrent execution streams with stream-scoped
+  cache synchronization for interference studies.
 
 Quickstart::
 
@@ -63,6 +65,13 @@ from repro.core import (
 )
 from repro.session import SimulationSession, simulate
 from repro.stats import PolicyComparison, RunReport
+from repro.streams import (
+    MIX_NAMES,
+    SERVING_MIXES,
+    ServingMix,
+    StreamConfig,
+    mix_by_name,
+)
 from repro.topology import (
     TOPOLOGIES,
     TOPOLOGY_NAMES,
@@ -119,6 +128,12 @@ __all__ = [
     "TOPOLOGIES",
     "TOPOLOGY_NAMES",
     "topology_by_name",
+    # multi-tenant serving streams
+    "StreamConfig",
+    "ServingMix",
+    "SERVING_MIXES",
+    "MIX_NAMES",
+    "mix_by_name",
     # simulation
     "SimulationSession",
     "simulate",

@@ -16,6 +16,9 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
   the static envelope and the paper's optimization stack.
 * ``topology``  -- run the device-scaling study: policies across 1/2/4-device
   NUMA systems (speedup + remote-traffic fraction per cell).
+* ``serve``     -- run the multi-tenant interference study: serving mixes of
+  concurrent streams under shared vs partitioned CU dispatch (per-tenant
+  slowdown + unfairness per cell).
 * ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
 * ``cache``     -- persistent result-store lifecycle: ``stats``, ``clear``,
@@ -66,8 +69,18 @@ from repro.experiments.scaling import (
     scaling_series,
     scaling_summary,
 )
+from repro.experiments.interference import (
+    CU_MODES,
+    INTERFERENCE_POLICIES,
+    figure_interference,
+    interference_artifact,
+    interference_series,
+    interference_summary,
+    mix_is_partitionable,
+)
 from repro.experiments.store import ResultStore, default_cache_dir
 from repro.session import simulate
+from repro.streams import MIX_NAMES, SERVING_MIXES, mix_by_name
 from repro.topology import TOPOLOGIES, TOPOLOGY_NAMES, TopologyConfig, topology_by_name
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
@@ -270,6 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(topology)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant interference study (concurrent serving mixes)",
+    )
+    serve.add_argument(
+        "--mix", nargs="+", default=None, choices=list(MIX_NAMES),
+        help="serving mixes to study (default: all registered mixes)",
+    )
+    serve.add_argument(
+        "--policies",
+        nargs="+",
+        default=[p.name for p in INTERFERENCE_POLICIES],
+        help="policy names (default: CacheRW plus the AB/CR optimizations)",
+    )
+    serve.add_argument(
+        "--cu-partition", default="both", choices=[*CU_MODES, "both"],
+        metavar="MODE",
+        help="CU share mode(s): shared, partitioned, or both (default)",
+    )
+    serve.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the figure data and summary as JSON (CI artifact)",
+    )
+    _add_executor_options(serve)
+
     cache = subparsers.add_parser(
         "cache", help="persistent result-store lifecycle (stats/clear/prune)"
     )
@@ -360,6 +398,9 @@ def _list_payload() -> dict[str, object]:
         "topologies": {
             name: topology.describe() for name, topology in TOPOLOGIES.items()
         },
+        "serving_mixes": {
+            name: mix.describe() for name, mix in SERVING_MIXES.items()
+        },
     }
 
 
@@ -387,6 +428,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
             f"remote latency: {topology.remote_latency_cycles}cy  "
             f"fabric: {topology.fabric_requests_per_cycle} req/cy"
         )
+    print("\nServing mixes:")
+    for name, mix in SERVING_MIXES.items():
+        tenants = ", ".join(
+            f"{s.workload}@{s.launch_cycle}" for s in mix.streams
+        )
+        print(f"  {name:18s} [{tenants}]  {mix.description}")
     return 0
 
 
@@ -627,6 +674,89 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant interference study and print/record its figure.
+
+    Like the other sweep commands, ``serve`` defaults to the conventional
+    persistent store: every cell's fingerprint covers the full stream
+    configurations, and the solo baselines are plain single-workload
+    cells shared with the ordinary sweeps, so a warm repeat simulates
+    nothing and the cache-effectiveness line on stderr proves it.
+    """
+    mixes = [mix_by_name(name) for name in (args.mix or MIX_NAMES)]
+    policies = [policy_by_name(name) for name in args.policies]
+    modes = list(CU_MODES) if args.cu_partition == "both" else [args.cu_partition]
+
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    if "partitioned" in modes:
+        for mix in mixes:
+            if not mix_is_partitionable(mix, runner.config.gpu.num_cus):
+                print(
+                    f"[serve] note: {mix.name} has {mix.num_streams} streams but "
+                    f"the system has {runner.config.gpu.num_cus} CUs per device; "
+                    "its partitioned cells are skipped",
+                    file=sys.stderr,
+                )
+        if modes == ["partitioned"] and not any(
+            mix_is_partitionable(mix, runner.config.gpu.num_cus) for mix in mixes
+        ):
+            print(
+                "error: no requested mix fits a CU partition on this system; "
+                "add --cus, pick narrower mixes, or use --cu-partition shared/both",
+                file=sys.stderr,
+            )
+            return 2
+    figure = figure_interference(runner, mixes=mixes, policies=policies, modes=modes)
+    summary = interference_summary(figure)
+    print(
+        render_series_table(
+            "Multi-tenant interference: mean per-tenant slowdown vs solo",
+            interference_series(figure, "mean_slowdown"),
+        )
+    )
+    print(
+        render_series_table(
+            "Multi-tenant interference: unfairness (max/min tenant slowdown)",
+            interference_series(figure, "unfairness"),
+        )
+    )
+    print(
+        render_series_table(
+            "Serving summary (geomean slowdown / mean unfairness)", summary
+        )
+    )
+
+    if args.json_out:
+        blob = interference_artifact(
+            figure,
+            summary,
+            mixes=mixes,
+            modes=modes,
+            policies=[p.name for p in policies],
+            scale=args.scale,
+            num_cus=runner.config.gpu.num_cus,
+        )
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[serve] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    stats = runner.stats()
+    print(
+        f"[serve] grid={len(mixes)}x{len(policies)}x{len(modes)} "
+        f"jobs={args.jobs} store={cache_dir or 'disabled'} "
+        f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Result-store lifecycle: occupancy stats, full clear, age-based prune."""
     cache_dir = _cache_dir(args, default_to_conventional=True)
@@ -706,6 +836,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_adaptive(args)
         if args.command == "topology":
             return _cmd_topology(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "figure":

@@ -18,6 +18,9 @@ Each module corresponds to a block of the paper's evaluation:
 * :mod:`repro.experiments.scaling` -- the device-scaling study: policies
   across 1/2/4-device NUMA topologies (speedup and remote-traffic
   fraction per cell).
+* :mod:`repro.experiments.interference` -- the multi-tenant interference
+  study: serving mixes of concurrent streams under shared vs partitioned
+  CU dispatch (per-tenant slowdown and unfairness per cell).
 * :mod:`repro.experiments.jobs` -- the job-based sweep executor:
   :class:`JobSpec` grid cells, serial and process-pool backends, and the
   store-aware :class:`SweepExecutor`.
@@ -61,6 +64,11 @@ from repro.experiments.scaling import (
     scaling_summary,
     scaling_topologies,
 )
+from repro.experiments.interference import (
+    figure_interference,
+    interference_summary,
+    interference_series,
+)
 from repro.experiments.tables import table1_system_configuration, table2_workloads
 from repro.experiments.render import render_series_table
 
@@ -92,6 +100,9 @@ __all__ = [
     "figure_scaling",
     "scaling_summary",
     "scaling_topologies",
+    "figure_interference",
+    "interference_summary",
+    "interference_series",
     "table1_system_configuration",
     "table2_workloads",
     "render_series_table",

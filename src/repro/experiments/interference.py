@@ -1,0 +1,200 @@
+"""The multi-tenant interference study: serving mixes under cache policies.
+
+The paper evaluates its policies one workload at a time; a GPU serving
+production traffic co-schedules many tenants, and co-running kernels
+thrash the shared caches (CIAO, arXiv:1805.07718).  This driver measures
+that interference and whether the paper's policies mitigate it: every
+registered :class:`~repro.streams.config.ServingMix` is simulated under
+every requested policy in both CU-share modes (``shared`` round-robin and
+``partitioned`` static CU blocks), next to each tenant's *solo* run on the
+same system, and three quantities are reported per cell:
+
+* **per-tenant slowdown** -- the tenant's cycles in the mix (arrival to
+  completion) divided by its solo cycles; 1.0 means no interference;
+* **unfairness** -- max over min tenant slowdown (the multi-tenancy
+  fairness metric); 1.0 means every tenant pays equally;
+* **makespan** -- the whole mix's execution time.
+
+Every cell is an ordinary :class:`~repro.experiments.jobs.JobSpec` whose
+fingerprint covers the stream configurations, so mixes parallelize across
+worker processes and persist in the result store exactly like static,
+adaptive and topology runs (a warm repeat simulates nothing) -- and the
+solo baselines share store entries with the ordinary single-workload
+sweeps of the same (workload, scale, policy, configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.policies import CACHE_RW, CACHE_RW_AB, CACHE_RW_CR, PolicySpec
+from repro.experiments.adaptive import geomean
+from repro.experiments.runner import ExperimentRunner
+from repro.streams.config import SERVING_MIXES, ServingMix
+
+__all__ = [
+    "INTERFERENCE_POLICIES",
+    "CU_MODES",
+    "mix_is_partitionable",
+    "figure_interference",
+    "interference_summary",
+    "interference_series",
+    "interference_artifact",
+]
+
+#: default policy axis: the caching baseline plus the two optimizations
+#: the paper proposes for exactly the overheads interference amplifies
+#: (allocation stalls -> bypass, dirty-flush row disruption -> rinsing)
+INTERFERENCE_POLICIES: tuple[PolicySpec, ...] = (CACHE_RW, CACHE_RW_AB, CACHE_RW_CR)
+
+#: CU-share modes of the study's isolation axis
+CU_MODES: tuple[str, ...] = ("shared", "partitioned")
+
+
+def mix_is_partitionable(mix: ServingMix, num_cus_per_device: int) -> bool:
+    """Whether ``mix`` can statically partition a device's CUs.
+
+    The stream scheduler gives every stream a contiguous CU block *per
+    device* (the ``SystemConfig`` describes one device), so the bound is
+    one CU per stream per device.  The single predicate both the study
+    and the CLI's skip warning consult -- they must never drift apart.
+    """
+    return mix.num_streams <= num_cus_per_device
+
+
+def figure_interference(
+    runner: Optional[ExperimentRunner] = None,
+    mixes: Optional[Sequence[ServingMix]] = None,
+    policies: Iterable[PolicySpec] = INTERFERENCE_POLICIES,
+    modes: Sequence[str] = CU_MODES,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """The interference figure: per-tenant slowdown and unfairness per cell.
+
+    Returns ``{mix: {"<policy>@<mode>": {"mean_slowdown": s,
+    "max_slowdown": m, "unfairness": u, "cycles": c,
+    "tenants": {label: slowdown}}}}``.  Mix cells and solo baselines each
+    go to the runner's executor as one memoized batch (the parallel
+    fan-out points).
+    """
+    runner = runner or ExperimentRunner()
+    mix_list = list(mixes) if mixes is not None else list(SERVING_MIXES.values())
+    policy_list = tuple(policies)
+    mode_list = tuple(modes)
+    if not mix_list:
+        raise ValueError("the interference study needs at least one serving mix")
+
+    # one cell per (mix, policy, mode); the runner dedupes the solo
+    # baselines of tenants shared between mixes.  Partitioning needs one
+    # CU per stream (per device): mixes too wide for the configured system
+    # drop their partitioned cells (an absent column in the figure, which
+    # the CLI calls out on stderr) rather than abort the whole study.
+    cus_per_device = runner.config.gpu.num_cus
+    mix_cells = []
+    for mix in mix_list:
+        for policy in policy_list:
+            for mode in mode_list:
+                if mode == "partitioned" and not mix_is_partitionable(
+                    mix, cus_per_device
+                ):
+                    continue
+                mix_cells.append((mix, policy, mode, mix.with_cu_share(mode)))
+    if not mix_cells:
+        raise ValueError(
+            "no runnable cells: every requested mix has more streams than the "
+            f"{cus_per_device} CUs per device a partition could split -- add "
+            "CUs, narrow the mixes, or include the shared mode"
+        )
+    unique_mode_mixes: dict[str, ServingMix] = {
+        mode_mix.fingerprint(): mode_mix for _mix, _policy, _mode, mode_mix in mix_cells
+    }
+    mix_reports = runner.serving_sweep(list(unique_mode_mixes.values()), policy_list)
+    # solo baselines only for tenants whose mix actually produced cells --
+    # a fully skipped mix must not cost discarded simulations
+    active_mixes: dict[str, ServingMix] = {
+        mix.name: mix for mix, _policy, _mode, _mode_mix in mix_cells
+    }
+    solo_reports = runner.solo_sweep(
+        [
+            (stream.workload, stream.scale)
+            for mix in active_mixes.values()
+            for stream in mix.streams
+        ],
+        policy_list,
+    )
+
+    figure: dict[str, dict[str, dict[str, object]]] = {}
+    for mix, policy, mode, mode_mix in mix_cells:
+        report = mix_reports[(mode_mix.fingerprint(), policy.name)]
+        solo_cycles = [
+            solo_reports[(stream.workload, stream.scale, policy.name)].cycles
+            for stream in mix.streams
+        ]
+        metrics = report.interference(solo_cycles)
+        cell: dict[str, object] = {
+            "mean_slowdown": metrics["mean_slowdown"],
+            "max_slowdown": metrics["max_slowdown"],
+            "unfairness": metrics["unfairness"],
+            "cycles": float(report.cycles),
+            "tenants": dict(zip(mix.tenant_labels(), metrics["slowdowns"])),
+        }
+        figure.setdefault(mix.name, {})[f"{policy.name}@{mode}"] = cell
+    return figure
+
+
+def interference_series(
+    figure: Mapping[str, Mapping[str, Mapping[str, object]]], metric: str
+) -> dict[str, dict[str, float]]:
+    """Project one scalar metric out of the interference figure, in the
+    shape ``render_series_table`` takes (shared by the CLI and benchmark)."""
+    return {
+        mix: {series: float(cell[metric]) for series, cell in data.items()}
+        for mix, data in figure.items()
+    }
+
+
+def interference_summary(
+    figure: Mapping[str, Mapping[str, Mapping[str, object]]],
+) -> dict[str, dict[str, float]]:
+    """Geomean slowdown and mean unfairness of every ``policy@mode`` series.
+
+    What the serving benchmark asserts on and what the CLI prints last.
+    """
+    series_names: list[str] = []
+    for data in figure.values():
+        for name in data:
+            if name not in series_names:
+                series_names.append(name)
+    summary: dict[str, dict[str, float]] = {}
+    for name in series_names:
+        cells = [data[name] for data in figure.values() if name in data]
+        summary[name] = {
+            "slowdown_geomean": geomean(float(cell["mean_slowdown"]) for cell in cells),
+            "unfairness_mean": sum(float(cell["unfairness"]) for cell in cells)
+            / len(cells),
+        }
+    return summary
+
+
+def interference_artifact(
+    figure: Mapping[str, Mapping[str, Mapping[str, object]]],
+    summary: Mapping[str, Mapping[str, float]],
+    mixes: Sequence[ServingMix],
+    **extra: object,
+) -> dict[str, object]:
+    """The JSON blob recorded for the interference figure (CI artifact).
+
+    One schema for both producers (``repro-gpu-cache serve --json-out``
+    and ``benchmarks/test_fig_interference.py``); ``extra`` attaches
+    context (scale, CU count, policies) without changing the core shape.
+    """
+    blob: dict[str, object] = {
+        "schema": 1,
+        "mixes": {mix.name: mix.describe() for mix in mixes},
+        "figure_interference": {
+            mix: {series: dict(cell) for series, cell in data.items()}
+            for mix, data in figure.items()
+        },
+        "summary": {series: dict(values) for series, values in summary.items()},
+    }
+    blob.update(extra)
+    return blob

@@ -36,6 +36,7 @@ from repro.experiments.store import ResultStore
 from repro.fingerprint import fingerprint
 from repro.session import simulate
 from repro.stats.report import RunReport
+from repro.streams.config import StreamConfig
 from repro.topology.config import TopologyConfig
 from repro.workloads.registry import get_workload
 
@@ -69,6 +70,13 @@ class JobSpec:
             (``config`` then describes one device); the topology is part
             of the fingerprint, so runs at different device counts or
             fabric parameters never share a store entry.
+        streams: when given, the run is a multi-tenant serving mix: each
+            :class:`~repro.streams.config.StreamConfig` names its own
+            workload/scale/arrival/CU-share, executed concurrently.
+            ``workload`` is then a display label and ``scale`` is ignored
+            (per-stream scales govern); the stream configurations are part
+            of the fingerprint, so two mixes differing in any tenant
+            parameter never share a store entry.
     """
 
     workload: str
@@ -79,6 +87,7 @@ class JobSpec:
     dbi_max_rows: Optional[int] = None
     adaptive: Optional[AdaptiveConfig] = None
     topology: Optional[TopologyConfig] = None
+    streams: Optional[tuple[StreamConfig, ...]] = None
 
     def fingerprint(self) -> str:
         """Stable key over every input that can affect the result.
@@ -89,8 +98,10 @@ class JobSpec:
         """
         return fingerprint(
             {
-                "workload": self.workload,
-                "scale": self.scale,
+                # for serving jobs the per-stream configs are authoritative;
+                # the workload label must not split identical mixes
+                "workload": self.workload if self.streams is None else None,
+                "scale": self.scale if self.streams is None else None,
                 "policy": self.policy,
                 "config": self.config,
                 "predictor_config": self.predictor_config,
@@ -99,6 +110,11 @@ class JobSpec:
                 # physical parameters only: the display name must not
                 # split identical simulations across store entries
                 "topology": None if self.topology is None else self.topology.describe(),
+                "streams": (
+                    None
+                    if self.streams is None
+                    else [stream.describe() for stream in self.streams]
+                ),
             },
             kind="JobSpec",
         )
@@ -117,11 +133,23 @@ class JobSpec:
         if self.topology is not None:
             summary["topology"] = self.topology.label
             summary["num_devices"] = self.topology.num_devices
+        if self.streams is not None:
+            summary["streams"] = [stream.describe() for stream in self.streams]
         return summary
 
 
 def execute_job(job: JobSpec) -> RunReport:
     """Simulate one job to completion (the unit of work for all backends)."""
+    if job.streams is not None:
+        return simulate(
+            policy=job.policy,
+            config=job.config,
+            predictor_config=job.predictor_config,
+            dbi_max_rows=job.dbi_max_rows,
+            adaptive=job.adaptive,
+            topology=job.topology,
+            streams=job.streams,
+        )
     workload = get_workload(job.workload, scale=job.scale)
     return simulate(
         workload,

@@ -29,6 +29,7 @@ from repro.experiments.jobs import (
 from repro.experiments.store import ResultStore
 from repro.stats.comparison import PolicyComparison
 from repro.stats.report import RunReport
+from repro.streams.config import ServingMix
 from repro.topology.config import TopologyConfig
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -259,6 +260,104 @@ class ExperimentRunner:
         return {
             (name, policy.name, tag): self._cache[(name, f"{policy.name}@topo:{tag}")]
             for name, policy, _topology, tag in grid
+        }
+
+    # ------------------------------------------------------------------
+    def serving_job_for(self, mix: ServingMix, policy: PolicySpec) -> JobSpec:
+        """The :class:`JobSpec` for one multi-tenant serving (mix) run.
+
+        The mix's per-stream scales are multiplied by the runner's scale
+        (the same knob that scales every other cell), and the mix name is
+        recorded as the job's display label.
+        """
+        scaled = mix.scaled(self.scale)
+        return JobSpec(
+            workload=mix.name,
+            policy=policy,
+            config=self.config,
+            streams=scaled.streams,
+        )
+
+    def solo_job_for(self, workload_name: str, scale: float, policy: PolicySpec) -> JobSpec:
+        """The single-workload baseline cell of one serving tenant.
+
+        A plain static job -- its fingerprint coincides with the ordinary
+        sweep cells of the same (workload, scale, policy, config), so solo
+        baselines are shared with every other experiment through the store.
+        """
+        return JobSpec(
+            workload=workload_name,
+            policy=policy,
+            scale=scale * self.scale,
+            config=self.config,
+        )
+
+    def solo_sweep(
+        self,
+        tenants: Sequence[tuple[str, float]],
+        policies: Iterable[PolicySpec],
+    ) -> dict[tuple[str, float, str], RunReport]:
+        """One single-workload baseline per (workload, scale, policy), memoized.
+
+        ``tenants`` are (workload, per-stream scale) pairs as they appear
+        in serving mixes; the runner's own scale multiplies on top, the
+        same way it does for the mix cells.  Returns reports keyed by
+        ``(workload, scale, policy name)``.  The jobs are ordinary static
+        cells, so with a store attached they share entries with the plain
+        sweeps of the same configuration.
+        """
+        cells = sorted(set(tenants))
+        policy_list = tuple(policies)
+        grid = [(w, s, policy) for (w, s) in cells for policy in policy_list]
+        pending = [
+            cell
+            for cell in grid
+            if (cell[0], f"{cell[2].name}@solo:{cell[1]}") not in self._cache
+        ]
+        self._memo_hits += len(grid) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [self.solo_job_for(w, s, policy) for w, s, policy in pending]
+            )
+            for (w, s, policy), report in zip(pending, reports):
+                self._cache[(w, f"{policy.name}@solo:{s}")] = report
+        return {
+            (w, s, policy.name): self._cache[(w, f"{policy.name}@solo:{s}")]
+            for w, s, policy in grid
+        }
+
+    def serving_sweep(
+        self,
+        mixes: Sequence[ServingMix],
+        policies: Iterable[PolicySpec],
+    ) -> dict[tuple[str, str], RunReport]:
+        """One run per (mix, policy) cell, memoized.
+
+        Returns reports keyed by ``(mix fingerprint, policy name)``.
+        Cells missing from the in-process memo are submitted to the
+        executor as a single batch; with a store attached they persist
+        under fingerprints that include every stream configuration, so a
+        warm repeat of an interference sweep performs zero simulations.
+        """
+        policy_list = tuple(policies)
+        grid = [
+            (mix, policy, mix.fingerprint()) for mix in mixes for policy in policy_list
+        ]
+        pending = [
+            cell
+            for cell in grid
+            if (f"mix:{cell[2]}", cell[1].name) not in self._cache
+        ]
+        self._memo_hits += len(grid) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [self.serving_job_for(mix, policy) for mix, policy, _tag in pending]
+            )
+            for (_mix, policy, tag), report in zip(pending, reports):
+                self._cache[(f"mix:{tag}", policy.name)] = report
+        return {
+            (tag, policy.name): self._cache[(f"mix:{tag}", policy.name)]
+            for _mix, policy, tag in grid
         }
 
     # ------------------------------------------------------------------

@@ -39,7 +39,7 @@ class ComputeUnit:
         sim: Simulator,
         stats: StatsCollector,
         hierarchy: "MemoryHierarchy",
-        on_wavefront_finished: Callable[[int], None],
+        on_wavefront_finished: Callable[[int, int], None],
     ) -> None:
         self.cu_id = cu_id
         self.config = config
@@ -80,7 +80,13 @@ class ComputeUnit:
         return self.resident_wavefronts < self.max_resident_wavefronts
 
     # ------------------------------------------------------------------
-    def start_wavefront(self, wavefront_id: int, kernel_id: int, program: WavefrontProgram) -> None:
+    def start_wavefront(
+        self,
+        wavefront_id: int,
+        kernel_id: int,
+        program: WavefrontProgram,
+        stream_id: int = 0,
+    ) -> None:
         """Place a wavefront on this CU and start executing it."""
         if not self.has_free_slot:
             raise RuntimeError(f"CU {self.cu_id} has no free wavefront slot")
@@ -90,6 +96,7 @@ class ComputeUnit:
             program=program,
             cu=self,
             on_finished=self._wavefront_finished,
+            stream_id=stream_id,
         )
         self._resident[wavefront_id] = wavefront
         self._c_wavefronts_started.add()
@@ -98,7 +105,7 @@ class ComputeUnit:
     def _wavefront_finished(self, wavefront: Wavefront) -> None:
         del self._resident[wavefront.wavefront_id]
         self._c_wavefronts_finished.add()
-        self.on_wavefront_finished(self.cu_id)
+        self.on_wavefront_finished(self.cu_id, wavefront.stream_id)
 
     # ------------------------------------------------------------------
     def book_compute(self, now: int, vector_ops: int) -> int:

@@ -1,38 +1,90 @@
-"""Kernel dispatch and the top-level GPU model.
+"""Stream scheduling and the top-level GPU model.
 
-The :class:`Gpu` executes a :class:`~repro.workloads.trace.WorkloadTrace`
-kernel by kernel.  Within a kernel, wavefronts are dispatched to CUs in
-round-robin order as slots free up (mirroring the hardware workgroup
-dispatcher).  In a multi-device topology the dispatcher honours the
-device-affinity tags the workload partitioner stamped on the wavefront
-programs: a tagged wavefront round-robins only over its own device's CU
-block, so data-parallel shards execute next to their home L2 slice and
-DRAM partition.  When the last wavefront of a kernel completes, the GPU applies
-the kernel-boundary synchronization required by the coherence protocol
-(self-invalidation of valid data and a flush of dirty L2 data -- see
-:meth:`repro.memory.hierarchy.MemoryHierarchy.kernel_boundary`), waits for
-the flush to drain, pays the kernel-launch overhead, and starts the next
-kernel.
+The :class:`Gpu` executes one or more concurrent *execution streams*, each
+an independent :class:`~repro.workloads.trace.WorkloadTrace` kernel
+sequence with its own in-flight wavefronts -- the multi-tenant serving
+model where several users' kernels are co-resident on one GPU.  A plain
+single-workload run (:meth:`run_workload`) is the degenerate one-stream
+case and reduces exactly to the historical kernel-by-kernel dispatch.
+
+Within each stream, kernels execute in order.  A kernel's wavefronts are
+dispatched to CUs as slots free up, under the mix's CU share policy:
+
+* ``"shared"`` -- all streams' wavefronts round-robin over the full CU
+  array (round-robin across streams as well, so no tenant starves);
+* ``"partitioned"`` -- the CU array is statically split into one
+  contiguous block per stream, and each stream round-robins only inside
+  its own block (spatial isolation, CIAO-style).
+
+Both modes compose with multi-device topologies: the dispatcher honours
+the device-affinity tags the workload partitioner stamped on the
+wavefront programs (a tagged wavefront runs only on its device's CU
+block), and a partitioned mix subdivides each *device's* block among the
+streams.
+
+When the last wavefront of a stream's kernel completes, the GPU applies
+the kernel-boundary synchronization required by the coherence protocol --
+self-invalidation of valid data and a flush of dirty L2 data, scoped to
+the finishing stream's cache lines in multi-stream runs (see
+:meth:`repro.memory.hierarchy.MemoryHierarchy.kernel_boundary`) -- waits
+for the flush to drain, pays the kernel-launch overhead, and starts the
+stream's next kernel.  Other streams keep executing throughout.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.engine import Simulator
 from repro.gpu.compute_unit import ComputeUnit
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.stats import StatsCollector
+from repro.streams.config import CU_SHARE_MODES, StreamConfig
 from repro.workloads.trace import KernelTrace, WorkloadTrace
 
 __all__ = ["Gpu"]
 
 
+class _StreamState:
+    """Runtime state of one execution stream on the GPU."""
+
+    __slots__ = (
+        "stream_id",
+        "kernels",
+        "kernel_index",
+        "outstanding",
+        "pending",
+        "active",
+        "launch_cycle",
+        "cu_ranges",
+        "next_cu_in_range",
+    )
+
+    def __init__(self, stream_id: int, num_devices: int, launch_cycle: int) -> None:
+        self.stream_id = stream_id
+        self.kernels: deque[KernelTrace] = deque()
+        self.kernel_index = -1
+        self.outstanding = 0
+        #: queued (wavefront_id, kernel_index, program) per device
+        self.pending: list[deque] = [deque() for _ in range(num_devices)]
+        self.active = True
+        self.launch_cycle = launch_cycle
+        #: static CU partition, per device: (base, count); None when shared
+        self.cu_ranges: Optional[list[tuple[int, int]]] = None
+        self.next_cu_in_range: Optional[list[int]] = None
+
+    def has_pending(self) -> bool:
+        for queue in self.pending:
+            if queue:
+                return True
+        return False
+
+
 class Gpu:
-    """The GPU: a set of CUs plus the kernel dispatcher."""
+    """The GPU: a set of CUs plus the stream-aware kernel dispatcher."""
 
     def __init__(
         self,
@@ -51,15 +103,15 @@ class Gpu:
         self.stats = stats
         self.hierarchy = hierarchy
         self.cus_per_device = cus_per_device
-        if cus_per_device is not None:
+        if cus_per_device is None:
+            self._num_devices = 1
+        else:
             if cus_per_device < 1 or config.gpu.num_cus % cus_per_device != 0:
                 raise ValueError(
                     f"cus_per_device {cus_per_device} must evenly divide "
                     f"{config.gpu.num_cus} CUs"
                 )
             self._num_devices = config.gpu.num_cus // cus_per_device
-            self._pending_by_device: list[deque] = [deque() for _ in range(self._num_devices)]
-            self._next_cu_of_device = [0] * self._num_devices
         self.cus = [
             ComputeUnit(
                 cu_id=cu,
@@ -72,128 +124,333 @@ class Gpu:
             for cu in range(config.gpu.num_cus)
         ]
         self._wavefront_ids = itertools.count()
-        self._pending_wavefronts: deque = deque()
-        self._kernel_outstanding = 0
-        self._kernels: deque[KernelTrace] = deque()
-        self._kernel_index = -1
+        self._streams: list[_StreamState] = []
         self._running = False
+        self._partitioned = False
+        #: stream-scoped kernel boundaries + per-stream counters; enabled
+        #: by the serving API, off for legacy single-workload runs
+        self._serving = False
+        # round-robin pointers of the shared dispatch modes: one CU pointer
+        # and one stream pointer per device (index 0 doubles as the global
+        # pointer of the no-topology path)
         self._next_cu = 0
+        self._next_cu_of_device = [0] * self._num_devices
+        self._next_stream_of_device = [0] * self._num_devices
         self._on_workload_complete: Optional[Callable[[], None]] = None
+        #: when set (by tests), every dispatch appends
+        #: ``(stream_id, cu_id, wavefront_id)`` -- one None-test per
+        #: wavefront start, nothing on the per-event hot path
+        self.dispatch_log: Optional[list[tuple[int, int, int]]] = None
 
+    # ------------------------------------------------------------------
+    # public entry points
     # ------------------------------------------------------------------
     def run_workload(
         self, workload: WorkloadTrace, on_complete: Optional[Callable[[], None]] = None
     ) -> None:
-        """Schedule ``workload`` for execution starting at the current cycle."""
-        if self._running:
-            raise RuntimeError("a workload is already running on this GPU")
-        if workload.num_kernels == 0:
-            raise ValueError(f"workload {workload.name!r} has no kernels")
-        self._running = True
-        self._kernels = deque(workload.kernels)
-        self._kernel_index = -1
-        self._on_workload_complete = on_complete
-        self.stats.set("gpu.kernels_total", workload.num_kernels)
-        self.sim.schedule(self.config.gpu.kernel_launch_cycles, self._launch_next_kernel)
+        """Schedule ``workload`` for execution starting at the current cycle.
+
+        The legacy single-stream entry point: one stream, global (shared)
+        dispatch, unscoped kernel boundaries -- bit-identical to the
+        pre-stream GPU model.
+        """
+        self._start(
+            [(workload, StreamConfig(workload=workload.name or "workload"))],
+            on_complete=on_complete,
+            serving=False,
+        )
+
+    def run_streams(
+        self,
+        traces: Sequence[WorkloadTrace],
+        configs: Sequence[StreamConfig],
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Schedule one execution stream per (trace, config) pair.
+
+        Streams launch at their configured arrival cycles, share or
+        partition the CUs according to the (uniform) ``cu_share`` mode,
+        and synchronize their kernel boundaries independently, scoped to
+        their own cache lines.  ``on_complete`` fires when the last
+        stream finishes.
+        """
+        if len(traces) != len(configs):
+            raise ValueError(
+                f"got {len(traces)} traces but {len(configs)} stream configs"
+            )
+        if not traces:
+            raise ValueError("a serving run needs at least one stream")
+        self._start(list(zip(traces, configs)), on_complete=on_complete, serving=True)
 
     # ------------------------------------------------------------------
-    def _launch_next_kernel(self) -> None:
-        if not self._kernels:
-            self._running = False
-            self.stats.set("gpu.finish_cycle", self.sim.now)
-            if self._on_workload_complete is not None:
-                self._on_workload_complete()
+    def _start(
+        self,
+        workloads: list[tuple[WorkloadTrace, StreamConfig]],
+        on_complete: Optional[Callable[[], None]],
+        serving: bool,
+    ) -> None:
+        if self._running:
+            raise RuntimeError("a workload is already running on this GPU")
+        # validate everything before mutating any scheduler state, so a
+        # rejected run leaves the GPU reusable
+        modes = {config.cu_share for _trace, config in workloads}
+        if len(modes) > 1:
+            raise ValueError(
+                f"streams mix cu_share modes {sorted(modes)}; "
+                "all streams of a run must share one mode"
+            )
+        mode = modes.pop()
+        if mode not in CU_SHARE_MODES:  # pragma: no cover - StreamConfig validates
+            raise ValueError(f"unknown cu_share mode {mode!r}")
+        for trace, _config in workloads:
+            if trace.num_kernels == 0:
+                raise ValueError(f"workload {trace.name!r} has no kernels")
+        partitioned = mode == "partitioned" and len(workloads) > 1
+        if partitioned:
+            cus_per_device = self.cus_per_device or len(self.cus)
+            if cus_per_device < len(workloads):
+                raise ValueError(
+                    f"cannot partition {cus_per_device} CUs per device across "
+                    f"{len(workloads)} streams (each stream needs at least one CU)"
+                )
+        self._running = True
+        self._serving = serving
+        self._partitioned = partitioned
+        self._on_workload_complete = on_complete
+        self._next_cu = 0
+        self._next_cu_of_device = [0] * self._num_devices
+        self._next_stream_of_device = [0] * self._num_devices
+        self._streams = []
+        total_kernels = 0
+        for stream_id, (trace, config) in enumerate(workloads):
+            stream = _StreamState(stream_id, self._num_devices, config.launch_cycle)
+            stream.kernels.extend(trace.kernels)
+            self._streams.append(stream)
+            total_kernels += trace.num_kernels
+            if serving:
+                self.stats.set(f"stream{stream_id}.kernels_total", trace.num_kernels)
+                self.stats.set(f"stream{stream_id}.launch_cycle", config.launch_cycle)
+        if self._partitioned:
+            self._assign_cu_partitions()
+        self.stats.set("gpu.kernels_total", total_kernels)
+        launch_delay = self.config.gpu.kernel_launch_cycles
+        for stream in self._streams:
+            self.sim.schedule(
+                stream.launch_cycle + launch_delay,
+                lambda s=stream: self._launch_next_kernel(s),
+            )
+
+    def _assign_cu_partitions(self) -> None:
+        """Split each device's CU block into one contiguous range per stream.
+
+        Feasibility (one CU per stream per device) was validated by
+        :meth:`_start` before any state changed.
+        """
+        num_streams = len(self._streams)
+        cus_per_device = self.cus_per_device or len(self.cus)
+        base_share, extra = divmod(cus_per_device, num_streams)
+        for stream in self._streams:
+            stream.cu_ranges = []
+            stream.next_cu_in_range = [0] * self._num_devices
+        for device in range(self._num_devices):
+            offset = device * cus_per_device
+            for index, stream in enumerate(self._streams):
+                count = base_share + (1 if index < extra else 0)
+                stream.cu_ranges.append((offset, count))
+                offset += count
+
+    # ------------------------------------------------------------------
+    # kernel launch / completion
+    # ------------------------------------------------------------------
+    def _launch_next_kernel(self, stream: _StreamState) -> None:
+        if not stream.kernels:
+            self._stream_finished(stream)
             return
-        kernel = self._kernels.popleft()
-        self._kernel_index += 1
+        kernel = stream.kernels.popleft()
+        stream.kernel_index += 1
         self.stats.add("gpu.kernels_launched")
+        if self._serving:
+            self.stats.add(f"stream{stream.stream_id}.kernels_launched")
         if kernel.num_wavefronts == 0:
             raise ValueError(f"kernel {kernel.name!r} has no wavefronts")
-        self._kernel_outstanding = kernel.num_wavefronts
+        stream.outstanding = kernel.num_wavefronts
         if self.cus_per_device is None:
-            self._pending_wavefronts = deque(
-                (next(self._wavefront_ids), self._kernel_index, program)
+            stream.pending[0].extend(
+                (next(self._wavefront_ids), stream.kernel_index, program)
                 for program in kernel.wavefronts
             )
         else:
+            num_devices = self._num_devices
             for index, program in enumerate(kernel.wavefronts):
                 # untagged wavefronts (a raw trace run on a multi-device
                 # system) are spread round-robin so no device sits idle
-                device = program.device if program.device is not None else index % self._num_devices
-                if not (0 <= device < self._num_devices):
+                device = program.device if program.device is not None else index % num_devices
+                if not (0 <= device < num_devices):
                     raise ValueError(
                         f"wavefront tagged for device {device}, but the system "
-                        f"has {self._num_devices} devices"
+                        f"has {num_devices} devices"
                     )
-                self._pending_by_device[device].append(
-                    (next(self._wavefront_ids), self._kernel_index, program)
+                stream.pending[device].append(
+                    (next(self._wavefront_ids), stream.kernel_index, program)
                 )
         self._fill_cus()
 
+    def _stream_finished(self, stream: _StreamState) -> None:
+        stream.active = False
+        now = self.sim.now
+        if self._serving:
+            prefix = f"stream{stream.stream_id}"
+            self.stats.set(f"{prefix}.finish_cycle", now)
+            self.stats.set(f"{prefix}.cycles", now - stream.launch_cycle)
+        if any(other.active for other in self._streams):
+            return
+        self._running = False
+        self.stats.set("gpu.finish_cycle", now)
+        if self._on_workload_complete is not None:
+            self._on_workload_complete()
+
+    def _on_wavefront_finished(self, cu_id: int, stream_id: int) -> None:
+        stream = self._streams[stream_id]
+        stream.outstanding -= 1
+        if self._has_pending_wavefronts():
+            self._fill_cus()
+        if stream.outstanding == 0 and not stream.has_pending():
+            self._kernel_complete(stream)
+
+    def _kernel_complete(self, stream: _StreamState) -> None:
+        self.stats.add("gpu.kernels_completed")
+        if self._serving:
+            self.stats.add(f"stream{stream.stream_id}.kernels_completed")
+
+        def after_sync() -> None:
+            launch_delay = self.config.gpu.kernel_launch_cycles
+            self.sim.schedule(
+                launch_delay, lambda: self._launch_next_kernel(stream)
+            )
+
+        # multi-tenant boundaries are scoped to the finishing stream's
+        # cache lines; the legacy path keeps the global (None) walk
+        self.hierarchy.kernel_boundary(
+            after_sync, stream_id=stream.stream_id if self._serving else None
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
     def _has_pending_wavefronts(self) -> bool:
-        if self.cus_per_device is not None:
-            return any(self._pending_by_device)
-        return bool(self._pending_wavefronts)
+        for stream in self._streams:
+            if stream.has_pending():
+                return True
+        return False
 
     def _fill_cus(self) -> None:
         """Dispatch queued wavefronts onto CUs with free slots, round robin."""
-        if self.cus_per_device is not None:
-            self._fill_cus_per_device()
+        if self._partitioned:
+            self._fill_partitioned()
+        elif self.cus_per_device is not None:
+            self._fill_shared_devices()
+        else:
+            self._fill_shared()
+
+    def _start_wavefront(self, cu: ComputeUnit, stream: _StreamState, device: int) -> None:
+        wavefront_id, kernel_id, program = stream.pending[device].popleft()
+        if self.dispatch_log is not None:
+            self.dispatch_log.append((stream.stream_id, cu.cu_id, wavefront_id))
+        cu.start_wavefront(wavefront_id, kernel_id, program, stream.stream_id)
+
+    def _next_stream_with_work(self, device: int) -> _StreamState:
+        """Round-robin pick among the streams with work queued for ``device``."""
+        streams = self._streams
+        count = len(streams)
+        pointer = self._next_stream_of_device[device]
+        for step in range(count):
+            index = (pointer + step) % count
+            if streams[index].pending[device]:
+                self._next_stream_of_device[device] = (index + 1) % count
+                return streams[index]
+        raise RuntimeError("no stream has pending work")  # pragma: no cover
+
+    def _any_pending(self, device: int) -> bool:
+        for stream in self._streams:
+            if stream.pending[device]:
+                return True
+        return False
+
+    def _fill_shared(self) -> None:
+        """Shared dispatch, single device: one global CU pointer; streams
+        interleave round-robin.  With one stream this is exactly the
+        historical global round-robin."""
+        if not self._any_pending(0):
             return
-        if not self._pending_wavefronts:
-            return
-        num_cus = len(self.cus)
+        cus = self.cus
+        num_cus = len(cus)
         attempts = 0
-        while self._pending_wavefronts and attempts < num_cus:
-            cu = self.cus[self._next_cu]
+        while self._any_pending(0) and attempts < num_cus:
+            cu = cus[self._next_cu]
             self._next_cu = (self._next_cu + 1) % num_cus
             if cu.has_free_slot:
-                wavefront_id, kernel_id, program = self._pending_wavefronts.popleft()
-                cu.start_wavefront(wavefront_id, kernel_id, program)
+                self._start_wavefront(cu, self._next_stream_with_work(0), 0)
                 attempts = 0
             else:
                 attempts += 1
 
-    def _fill_cus_per_device(self) -> None:
-        """Device-affine dispatch: each device's queue feeds its CU block."""
+    def _fill_shared_devices(self) -> None:
+        """Shared dispatch with device affinity: each device's queues feed
+        its CU block; streams interleave round-robin per device."""
         cus_per_device = self.cus_per_device
-        for device, pending in enumerate(self._pending_by_device):
-            if not pending:
+        cus = self.cus
+        for device in range(self._num_devices):
+            if not self._any_pending(device):
                 continue
             base = device * cus_per_device
             pointer = self._next_cu_of_device[device]
             attempts = 0
-            while pending and attempts < cus_per_device:
-                cu = self.cus[base + pointer]
+            while self._any_pending(device) and attempts < cus_per_device:
+                cu = cus[base + pointer]
                 pointer = (pointer + 1) % cus_per_device
                 if cu.has_free_slot:
-                    wavefront_id, kernel_id, program = pending.popleft()
-                    cu.start_wavefront(wavefront_id, kernel_id, program)
+                    self._start_wavefront(cu, self._next_stream_with_work(device), device)
                     attempts = 0
                 else:
                     attempts += 1
             self._next_cu_of_device[device] = pointer
 
-    def _on_wavefront_finished(self, cu_id: int) -> None:
-        self._kernel_outstanding -= 1
-        if self._has_pending_wavefronts():
-            self._fill_cus()
-        if self._kernel_outstanding == 0 and not self._has_pending_wavefronts():
-            self._kernel_complete()
-
-    def _kernel_complete(self) -> None:
-        self.stats.add("gpu.kernels_completed")
-
-        def after_sync() -> None:
-            launch_delay = self.config.gpu.kernel_launch_cycles
-            self.sim.schedule(launch_delay, self._launch_next_kernel)
-
-        self.hierarchy.kernel_boundary(after_sync)
+    def _fill_partitioned(self) -> None:
+        """Partitioned dispatch: every stream round-robins inside its own
+        contiguous CU range (per device)."""
+        cus = self.cus
+        for stream in self._streams:
+            for device in range(self._num_devices):
+                pending = stream.pending[device]
+                if not pending:
+                    continue
+                base, count = stream.cu_ranges[device]
+                pointer = stream.next_cu_in_range[device]
+                attempts = 0
+                while pending and attempts < count:
+                    cu = cus[base + pointer]
+                    pointer = (pointer + 1) % count
+                    if cu.has_free_slot:
+                        self._start_wavefront(cu, stream, device)
+                        attempts = 0
+                    else:
+                        attempts += 1
+                stream.next_cu_in_range[device] = pointer
 
     # ------------------------------------------------------------------
     @property
     def running(self) -> bool:
         return self._running
+
+    @property
+    def num_streams(self) -> int:
+        """Streams of the current (or last) run; 0 before any run."""
+        return len(self._streams)
+
+    def cu_partition_of(self, stream_id: int) -> Optional[list[tuple[int, int]]]:
+        """The per-device (base, count) CU ranges of ``stream_id``
+        (``None`` in shared mode)."""
+        return self._streams[stream_id].cu_ranges
 
     def occupancy(self) -> float:
         """Fraction of wavefront slots currently occupied (for debugging)."""

@@ -28,6 +28,7 @@ class Wavefront:
     __slots__ = (
         "wavefront_id",
         "kernel_id",
+        "stream_id",
         "program",
         "cu",
         "on_finished",
@@ -51,9 +52,11 @@ class Wavefront:
         program: WavefrontProgram,
         cu: "ComputeUnit",
         on_finished: Callable[["Wavefront"], None],
+        stream_id: int = 0,
     ) -> None:
         self.wavefront_id = wavefront_id
         self.kernel_id = kernel_id
+        self.stream_id = stream_id
         self.program = program
         self.cu = cu
         self.on_finished = on_finished
@@ -130,6 +133,7 @@ class Wavefront:
                 cu_id=cu.cu_id,
                 wavefront_id=self.wavefront_id,
                 kernel_id=self.kernel_id,
+                stream_id=self.stream_id,
                 issue_cycle=now,
             )
             self.issued_lines += 1

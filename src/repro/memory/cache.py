@@ -73,9 +73,15 @@ _PENDING = LineState.PENDING
 
 
 class CacheLine:
-    """One way of one set."""
+    """One way of one set.
 
-    __slots__ = ("state", "tag", "inserted_pc", "reused")
+    ``stream_id`` records which execution stream (tenant) allocated the
+    line, so kernel-boundary synchronization can walk only the finishing
+    stream's lines.  Outside multi-stream serving runs every request --
+    and therefore every line -- carries stream 0.
+    """
+
+    __slots__ = ("state", "tag", "inserted_pc", "reused", "stream_id")
 
     def __init__(
         self,
@@ -83,11 +89,13 @@ class CacheLine:
         tag: int = -1,
         inserted_pc: int = 0,
         reused: bool = False,
+        stream_id: int = 0,
     ) -> None:
         self.state = state
         self.tag = tag
         self.inserted_pc = inserted_pc
         self.reused = reused
+        self.stream_id = stream_id
 
     @property
     def busy(self) -> bool:
@@ -231,16 +239,24 @@ class Cache:
             self._c_stall_cycles.add(wait)
         self._schedule_at(grant, lambda: self._lookup(request, on_done, first_attempt=True))
 
-    def invalidate_clean(self) -> int:
-        """Self-invalidate every valid (clean) line; returns the count dropped.
+    def invalidate_clean(self, stream_id: Optional[int] = None) -> int:
+        """Self-invalidate valid (clean) lines; returns the count dropped.
 
         Dirty lines are left in place -- they are handled by
         :meth:`flush_dirty` at release synchronization points.
+
+        Args:
+            stream_id: when given, only lines allocated by that execution
+                stream are invalidated (stream-scoped acquire at a
+                multi-tenant kernel boundary); ``None`` -- every
+                single-stream run -- drops all valid lines.
         """
         dropped = 0
         for ways, tag_map in zip(self.sets, self._tag_to_way):
             for line in ways:
-                if line.state is _VALID:
+                if line.state is _VALID and (
+                    stream_id is None or line.stream_id == stream_id
+                ):
                     self._notify_eviction(line)
                     line.state = _INVALID
                     tag_map.pop(line.tag, None)
@@ -249,8 +265,13 @@ class Cache:
         self._c_self_invalidations.add(dropped)
         return dropped
 
-    def flush_dirty(self, on_complete: Callable[[], None], keep_clean: bool = True) -> int:
-        """Write back every dirty line, then invoke ``on_complete``.
+    def flush_dirty(
+        self,
+        on_complete: Callable[[], None],
+        keep_clean: bool = True,
+        stream_id: Optional[int] = None,
+    ) -> int:
+        """Write back dirty lines, then invoke ``on_complete``.
 
         Returns the number of writebacks issued.  With a dirty-block index
         attached the flush walks DRAM rows (row-ordered writebacks); without
@@ -261,11 +282,16 @@ class Cache:
         Args:
             keep_clean: leave the flushed lines valid (clean) in the cache,
                 as a release flush does; pass False to invalidate them.
+            stream_id: when given, only lines allocated by that execution
+                stream are flushed (stream-scoped release at a multi-tenant
+                kernel boundary); ``None`` flushes every dirty line.
         """
         dirty: list[tuple[int, int]] = []  # (set_index, way)
         for set_index, ways in enumerate(self.sets):
             for way, line in enumerate(ways):
-                if line.state is _DIRTY:
+                if line.state is _DIRTY and (
+                    stream_id is None or line.stream_id == stream_id
+                ):
                     dirty.append((set_index, way))
         if not dirty:
             self._schedule(0, on_complete)
@@ -388,6 +414,9 @@ class Cache:
         if request.is_store:
             if self.config.writeback:
                 line.state = _DIRTY
+                # the dirty data belongs to the storing stream: its own
+                # release (kernel boundary) must write it back
+                line.stream_id = request.stream_id
                 if self.dbi is not None:
                     self.dbi.mark_dirty(self._line_address(set_index, way))
                 self._c_store_hits.add()
@@ -431,6 +460,7 @@ class Cache:
         victim.tag = line_address
         victim.inserted_pc = request.pc
         victim.reused = False
+        victim.stream_id = request.stream_id
         self._tag_to_way[set_index][line_address] = victim_way
         self.mshrs.allocate(
             line_address, request, self._queue.now, allocate_way=victim_way
@@ -470,6 +500,7 @@ class Cache:
         line.tag = line_address
         line.inserted_pc = request.pc
         line.reused = False
+        line.stream_id = request.stream_id
         self._tag_to_way[set_index][line_address] = victim_way
         self.replacement.on_fill(set_index, victim_way, self._queue.now)
         if self.dbi is not None:
@@ -560,6 +591,13 @@ class Cache:
         requests = entry.all_requests
         any_store = any(r.is_store for r in requests)
         line.state = _DIRTY if (any_store and self.config.writeback) else _VALID
+        if line.state is _DIRTY:
+            # a store coalesced from another stream dirties the line on its
+            # behalf: the release duty follows the (first) storing stream
+            for req in requests:
+                if req.is_store:
+                    line.stream_id = req.stream_id
+                    break
         line.tag = line_address
         self.replacement.on_fill(set_index, way, now)
         if line.state is _DIRTY and self.dbi is not None:

@@ -9,7 +9,11 @@ operations the GPU model needs:
 * :meth:`kernel_boundary` -- perform the synchronization actions the paper's
   coherence protocol requires at kernel boundaries: self-invalidate valid
   (clean) data in the GPU caches and flush dirty L2 data to memory before
-  the next kernel may start.
+  the next kernel may start.  In a multi-tenant serving run the boundary
+  is *stream-scoped*: cache lines are tagged with the execution stream
+  that allocated them, and only the finishing stream's lines are
+  invalidated/flushed, so tenant A's kernel boundary never evicts tenant
+  B's working set.
 
 With a multi-device :class:`~repro.topology.config.TopologyConfig` the
 same class assembles a NUMA system instead: every device owns one L2
@@ -83,6 +87,10 @@ class MemoryHierarchy:
         self._c_load_requests = stats.counter("gpu.load_requests")
         self._c_store_requests = stats.counter("gpu.store_requests")
         self._c_kernel_boundaries = stats.counter("gpu.kernel_boundaries")
+        #: per-stream request counters, indexed by stream id; resolved only
+        #: when a serving session enables them, so single-stream runs keep
+        #: exactly the plain counter set
+        self._c_stream_requests: Optional[list] = None
 
         # the L2 is banked: model aggregate tag bandwidth as extra ports
         l2_config = config.l2
@@ -241,6 +249,7 @@ class MemoryHierarchy:
                 cu_id=request.cu_id,
                 wavefront_id=request.wavefront_id,
                 kernel_id=request.kernel_id,
+                stream_id=request.stream_id,
                 issue_cycle=request.issue_cycle,
                 size=request.size,
                 bypass_l1=request.bypass_l1,
@@ -294,14 +303,33 @@ class MemoryHierarchy:
             self._c_load_requests.add()
         else:
             self._c_store_requests.add()
+        stream_counters = self._c_stream_requests
+        if stream_counters is not None:
+            stream_counters[request.stream_id].add()
         self.l1s[cu_id].access(request, on_done)
 
-    def kernel_boundary(self, on_complete: Callable[[], None]) -> None:
+    def enable_stream_accounting(self, num_streams: int) -> None:
+        """Attribute every request to its stream (``stream<i>.mem_requests``).
+
+        Serving sessions call this before the streams launch; outside them
+        the per-stream counters are never resolved, so single-stream
+        reports keep exactly the plain counter set.
+        """
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be positive, got {num_streams}")
+        self._c_stream_requests = [
+            self.stats.counter(f"stream{index}.mem_requests")
+            for index in range(num_streams)
+        ]
+
+    def kernel_boundary(
+        self, on_complete: Callable[[], None], stream_id: Optional[int] = None
+    ) -> None:
         """Apply release/acquire synchronization at a kernel boundary.
 
-        The per-CU L1s self-invalidate all their valid data (acquire), and
-        the L2 writes back all dirty data (system-scope release, required
-        because the host may consume kernel outputs between launches);
+        The per-CU L1s self-invalidate their valid data (acquire), and the
+        L2 writes back dirty data (system-scope release, required because
+        the host may consume kernel outputs between launches);
         ``on_complete`` fires once every writeback has been accepted by
         memory.  Clean data in the shared L2 persists across kernel
         boundaries -- in the gem5 APU (VIPER-style) protocol the L2 is the
@@ -312,15 +340,25 @@ class MemoryHierarchy:
         fires on the next cycle.  In a multi-device system every slice
         flushes concurrently and ``on_complete`` fires when the last one
         drains.
+
+        Args:
+            stream_id: in a multi-tenant serving run, the execution stream
+                whose kernel just finished.  The synchronization is then
+                *stream-scoped*: only cache lines tagged with that stream
+                are self-invalidated and flushed, so one tenant's boundary
+                never evicts a co-running tenant's working set (the
+                interference mechanism CIAO's partitioning targets).
+                ``None`` -- every single-stream run -- keeps the global
+                walk, which is bit-identical to the pre-stream behaviour.
         """
         self._c_kernel_boundaries.add()
         if self._kernel_boundary_hooks:
             for hook in self._kernel_boundary_hooks:
                 hook()
         for l1 in self.l1s:
-            l1.invalidate_clean()
+            l1.invalidate_clean(stream_id)
         if self.num_devices == 1:
-            self.l2.flush_dirty(on_complete, keep_clean=True)
+            self.l2.flush_dirty(on_complete, keep_clean=True, stream_id=stream_id)
             return
         outstanding = self.num_devices
 
@@ -331,7 +369,7 @@ class MemoryHierarchy:
                 on_complete()
 
         for l2 in self.l2s:
-            l2.flush_dirty(slice_flushed, keep_clean=True)
+            l2.flush_dirty(slice_flushed, keep_clean=True, stream_id=stream_id)
 
     def add_kernel_boundary_hook(self, hook: Callable[[], None]) -> None:
         """Register ``hook`` to run at the start of every kernel boundary."""

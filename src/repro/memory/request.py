@@ -51,6 +51,10 @@ class MemoryRequest:
         cu_id: compute unit that issued the request.
         wavefront_id: issuing wavefront (unique across the simulation).
         kernel_id: kernel (synchronization epoch) the request belongs to.
+        stream_id: execution stream (tenant) the request belongs to; cache
+            lines are tagged with it so kernel-boundary synchronization can
+            be scoped to the finishing stream.  Always 0 outside
+            multi-stream serving runs.
         issue_cycle: cycle at which the CU issued the request.
         bypass_l1 / bypass_l2: set by the policy engine; a bypassed request
             is forwarded without allocating in that cache.
@@ -71,6 +75,7 @@ class MemoryRequest:
     cu_id: int = 0
     wavefront_id: int = 0
     kernel_id: int = 0
+    stream_id: int = 0
     issue_cycle: int = 0
     size: int = 64
     bypass_l1: bool = False

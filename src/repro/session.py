@@ -9,6 +9,12 @@ single-device model into a multi-device NUMA system: the workload is
 partitioned across the devices and the hierarchy is assembled with
 distributed L2 slices, per-device DRAM partitions and an inter-device
 fabric.
+Passing ``streams=...`` (a :class:`~repro.streams.config.ServingMix` or a
+sequence of :class:`~repro.streams.config.StreamConfig`) switches the
+session into multi-tenant serving mode: every stream runs its own workload
+concurrently on the one GPU, kernel-boundary synchronization is scoped to
+the finishing stream's cache lines, and the report carries per-stream
+sub-counters (``stream<i>.*``) for interference analysis.
 :class:`SimulationSession` is the underlying object for callers that want
 access to the assembled components (hierarchy, GPU, statistics, and for
 adaptive runs the dynamic controller) -- the examples and some tests use it
@@ -18,7 +24,7 @@ directly.
 from __future__ import annotations
 
 from dataclasses import replace as dc_replace
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.adaptive.config import AdaptiveConfig
 from repro.adaptive.controller import DynamicPolicyController, DynamicPolicyEngine
@@ -32,10 +38,16 @@ from repro.gpu.gpu import Gpu
 from repro.memory.address_mapping import AddressMapping, DeviceInterleave
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.stats import RunReport, StatsCollector
+from repro.streams.address_space import isolate_traces
+from repro.streams.config import ServingMix, StreamConfig
 from repro.topology.config import TopologyConfig
 from repro.topology.partition import partition_trace
 from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
 from repro.workloads.trace import WorkloadTrace
+
+#: accepted forms of the ``streams`` argument
+StreamsSpec = Union[ServingMix, Sequence[StreamConfig]]
 
 __all__ = ["SimulationSession", "simulate"]
 
@@ -65,6 +77,15 @@ class SimulationSession:
             partitions, device-affine wavefront dispatch, and workload
             partitioning at :meth:`run`.  A one-device topology is
             bit-identical to no topology at all.
+        streams: when given (a :class:`~repro.streams.config.ServingMix`
+            or a sequence of :class:`~repro.streams.config.StreamConfig`),
+            run in multi-tenant serving mode: every stream's workload is
+            resolved from the registry and executed concurrently under the
+            mix's CU share policy, kernel boundaries are stream-scoped,
+            and per-stream counters are recorded.  :meth:`run` then takes
+            no workload argument.  A single-entry stream list is
+            bit-identical to the plain run of that workload (modulo the
+            extra ``stream0.*`` counters).
     """
 
     def __init__(
@@ -75,12 +96,24 @@ class SimulationSession:
         dbi_max_rows: Optional[int] = None,
         adaptive: Optional[AdaptiveConfig] = None,
         topology: Optional[TopologyConfig] = None,
+        streams: Optional[StreamsSpec] = None,
     ) -> None:
         if policy is None and adaptive is None:
             raise ValueError("a session needs a policy or an adaptive configuration")
         self.config = config or default_config()
         self.adaptive = adaptive
         self.topology = topology
+        if streams is None:
+            self.streams: Optional[tuple[StreamConfig, ...]] = None
+            self.streams_label = ""
+        elif isinstance(streams, ServingMix):
+            self.streams = streams.streams
+            self.streams_label = streams.name
+        else:
+            self.streams = tuple(streams)
+            self.streams_label = "+".join(s.display for s in self.streams)
+        if self.streams is not None and not self.streams:
+            raise ValueError("a serving session needs at least one stream")
         self.sim = Simulator()
         self.stats = StatsCollector()
         num_devices = topology.num_devices if topology is not None else 1
@@ -180,8 +213,17 @@ class SimulationSession:
             self.hierarchy.add_kernel_boundary_hook(self.controller.on_kernel_boundary)
 
     # ------------------------------------------------------------------
-    def run(self, workload: Workload | WorkloadTrace) -> RunReport:
-        """Execute ``workload`` to completion and return its report."""
+    def run(self, workload: Workload | WorkloadTrace | None = None) -> RunReport:
+        """Execute the workload (or the serving streams) and return the report."""
+        if self.streams is not None:
+            if workload is not None:
+                raise ValueError(
+                    "a serving session derives its workloads from the stream "
+                    "configurations; run() takes no workload argument"
+                )
+            return self._run_streams()
+        if workload is None:
+            raise ValueError("run() needs a workload (or a session with streams)")
         trace = workload.build_trace() if isinstance(workload, Workload) else workload
         if self.topology is not None:
             trace = partition_trace(
@@ -210,15 +252,56 @@ class SimulationSession:
             config=self.config,
         )
 
+    def _run_streams(self) -> RunReport:
+        """Execute every configured stream concurrently to completion."""
+        line_bytes = self.config.l2.line_bytes
+        traces = []
+        for stream in self.streams:
+            trace = get_workload(stream.workload, scale=stream.scale).build_trace()
+            if self.topology is not None:
+                trace = partition_trace(trace, self.topology, line_bytes=line_bytes)
+            traces.append(trace)
+        # tenants own disjoint address spaces: rebase each stream past the
+        # previous ones, aligned to the interleave period so a line's home
+        # device is unaffected (identity for a single stream)
+        alignment = line_bytes
+        if self.topology is not None:
+            alignment *= self.topology.interleave_lines * self.topology.num_devices
+        traces = isolate_traces(traces, alignment)
+        self.hierarchy.enable_stream_accounting(len(self.streams))
+        finished: list[int] = []
+
+        def on_complete() -> None:
+            finished.append(self.sim.now)
+
+        self.gpu.run_streams(traces, self.streams, on_complete=on_complete)
+        if self.controller is not None:
+            self.controller.start(lambda: self.gpu.running)
+        self.sim.run()
+        if not finished:
+            raise RuntimeError(
+                f"serving simulation of {self.streams_label!r} under "
+                f"{self.policy_label} did not complete; the event queue drained "
+                "with work outstanding (model deadlock)"
+            )
+        return RunReport.from_stats(
+            workload=self.streams_label,
+            policy=self.policy_label,
+            cycles=finished[0],
+            stats=self.stats,
+            config=self.config,
+        )
+
 
 def simulate(
-    workload: Workload | WorkloadTrace,
+    workload: Workload | WorkloadTrace | None = None,
     policy: PolicySpec | str | None = None,
     config: Optional[SystemConfig] = None,
     predictor_config: Optional[PredictorConfig] = None,
     dbi_max_rows: Optional[int] = None,
     adaptive: Optional[AdaptiveConfig] = None,
     topology: Optional[TopologyConfig] = None,
+    streams: Optional[StreamsSpec] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -231,7 +314,13 @@ def simulate(
     Pass ``adaptive=AdaptiveConfig(...)`` instead of a policy to let the
     online controller pick (and re-pick) the policy while the workload
     runs, and/or ``topology=TopologyConfig(num_devices=...)`` to simulate
-    a multi-device NUMA system.
+    a multi-device NUMA system.  Pass ``streams=...`` (and no workload) to
+    run a multi-tenant serving mix of concurrent streams instead of a
+    single workload::
+
+        from repro import simulate, CACHE_RW, mix_by_name
+        report = simulate(policy=CACHE_RW, streams=mix_by_name("mha+fwlstm"))
+        print(report.per_stream)
     """
     session = SimulationSession(
         policy=policy,
@@ -240,5 +329,6 @@ def simulate(
         dbi_max_rows=dbi_max_rows,
         adaptive=adaptive,
         topology=topology,
+        streams=streams,
     )
     return session.run(workload)

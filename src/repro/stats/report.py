@@ -13,13 +13,17 @@ one policy) and exposes exactly the quantities used in Figures 4-13:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.config import SystemConfig
 from repro.stats.counters import StatsCollector
 
 __all__ = ["RunReport"]
+
+#: per-stream counter namespace: ``stream<i>.<metric>``
+_STREAM_COUNTER = re.compile(r"^stream(\d+)\.(.+)$")
 
 
 @dataclass
@@ -203,6 +207,69 @@ class RunReport:
         """Giga GPU memory requests per second (Figure 5 metric)."""
         seconds = self.seconds
         return self.gpu_mem_requests / seconds / 1e9 if seconds else 0.0
+
+    # -- multi-tenant serving ----------------------------------------------
+    @property
+    def per_stream(self) -> dict[int, dict[str, int]]:
+        """Per-stream sub-reports of a multi-tenant serving run.
+
+        Serving runs record stream-tagged counters
+        (``stream<i>.mem_requests``, ``stream<i>.cycles``, ...); this
+        groups them by stream index.  Empty for single-workload runs.
+        """
+        streams: dict[int, dict[str, int]] = {}
+        for name, value in self.counters.items():
+            match = _STREAM_COUNTER.match(name)
+            if match is not None:
+                streams.setdefault(int(match.group(1)), {})[match.group(2)] = value
+        return dict(sorted(streams.items()))
+
+    @property
+    def num_streams(self) -> int:
+        """Execution streams of the run (0 outside serving runs)."""
+        return len(self.per_stream)
+
+    def stream_cycles(self, index: int) -> int:
+        """Cycles stream ``index`` took from its arrival to its completion."""
+        try:
+            return self.counters[f"stream{index}.cycles"]
+        except KeyError:
+            raise KeyError(
+                f"report for {self.workload!r} has no stream {index} "
+                "(not a serving run, or the stream never finished)"
+            ) from None
+
+    def interference(self, solo_cycles: Sequence[int]) -> dict[str, object]:
+        """Per-tenant slowdown and unfairness versus solo execution.
+
+        Args:
+            solo_cycles: each stream's execution time when it runs alone
+                on the same system under the same policy, in stream order.
+
+        Returns a dict with ``slowdowns`` (per-tenant ``mix / solo`` cycle
+        ratios, stream order), ``mean_slowdown``, ``max_slowdown``, and
+        ``unfairness`` (max/min slowdown, 1.0 = perfectly fair, the metric
+        of the multi-tenancy literature).
+        """
+        streams = self.per_stream
+        if len(solo_cycles) != len(streams):
+            raise ValueError(
+                f"got {len(solo_cycles)} solo baselines for {len(streams)} streams"
+            )
+        slowdowns = [
+            self.stream_cycles(index) / solo if solo else 0.0
+            for index, solo in enumerate(solo_cycles)
+        ]
+        return {
+            "slowdowns": slowdowns,
+            "mean_slowdown": sum(slowdowns) / len(slowdowns) if slowdowns else 0.0,
+            "max_slowdown": max(slowdowns) if slowdowns else 0.0,
+            "unfairness": (
+                max(slowdowns) / min(slowdowns)
+                if slowdowns and min(slowdowns) > 0
+                else 0.0
+            ),
+        }
 
     # -- misc ----------------------------------------------------------------
     @property

@@ -1,0 +1,32 @@
+"""Concurrent multi-stream execution (multi-tenant serving).
+
+This package describes *who* is running on the GPU: each
+:class:`~repro.streams.config.StreamConfig` is one tenant's workload,
+arrival time and CU share policy, and a
+:class:`~repro.streams.config.ServingMix` bundles several tenants into a
+named serving scenario.  The execution machinery lives where it always
+did -- :class:`~repro.gpu.gpu.Gpu` schedules the streams,
+:class:`~repro.memory.hierarchy.MemoryHierarchy` scopes kernel-boundary
+synchronization to the finishing stream, and
+:func:`repro.session.simulate` accepts ``streams=...`` -- while the
+interference study built on top is
+:mod:`repro.experiments.interference`.
+"""
+
+from repro.streams.config import (
+    CU_SHARE_MODES,
+    MIX_NAMES,
+    SERVING_MIXES,
+    ServingMix,
+    StreamConfig,
+    mix_by_name,
+)
+
+__all__ = [
+    "CU_SHARE_MODES",
+    "MIX_NAMES",
+    "SERVING_MIXES",
+    "ServingMix",
+    "StreamConfig",
+    "mix_by_name",
+]

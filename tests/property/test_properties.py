@@ -235,3 +235,133 @@ class TestCacheProperties:
         assert len(completed) == len(accesses)
         assert len(set(completed)) == len(completed)
         assert len(backend_loads) <= issued_loads
+
+
+# ----------------------------------------------------------------------
+# multi-tenant serving streams
+# ----------------------------------------------------------------------
+
+from repro.config import scaled_config
+from repro.core.policies import CACHE_RW
+from repro.core.policy_engine import PolicyEngine
+from repro.gpu.gpu import Gpu
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.streams import StreamConfig
+from repro.streams.address_space import isolate_traces
+from repro.workloads.trace import (
+    ComputeInstr,
+    KernelTrace,
+    MemInstr,
+    WavefrontProgram,
+    WorkloadTrace,
+)
+
+_SERVING_CONFIG = scaled_config(2)
+
+#: one randomly shaped tenant: (kernel shapes, launch_cycle) where each
+#: kernel is a list of per-wavefront (line_count, has_store) specs
+_stream_shape = st.tuples(
+    st.lists(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=6), st.booleans()),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=2,
+    ),
+    st.integers(min_value=0, max_value=2_000),
+)
+
+
+def _build_trace(index: int, kernels) -> WorkloadTrace:
+    trace = WorkloadTrace(name=f"tenant{index}")
+    for k, wavefronts in enumerate(kernels):
+        kernel = KernelTrace(name=f"k{k}")
+        for w, (line_count, has_store) in enumerate(wavefronts):
+            program = WavefrontProgram(workgroup_id=w)
+            addresses = tuple(64 * (w * 64 + i) for i in range(line_count))
+            program.append(MemInstr(access=AccessType.LOAD, line_addresses=addresses, pc=0x40))
+            if has_store:
+                program.append(
+                    MemInstr(access=AccessType.STORE, line_addresses=addresses[:1], pc=0x44)
+                )
+            program.append(ComputeInstr(vector_ops=2))
+            kernel.add_wavefront(program)
+        trace.add_kernel(kernel)
+    return trace
+
+
+def _run_serving(shapes, cu_share: str):
+    """Assemble a 2-CU system and run one synthetic stream per shape."""
+    sim = Simulator()
+    stats = StatsCollector()
+    mapping = AddressMapping(_SERVING_CONFIG.dram, line_bytes=_SERVING_CONFIG.l2.line_bytes)
+    engine = PolicyEngine(CACHE_RW, row_of=mapping.row_id)
+    hierarchy = MemoryHierarchy(_SERVING_CONFIG, sim, stats, engine)
+    gpu = Gpu(_SERVING_CONFIG, sim, stats, hierarchy)
+    gpu.dispatch_log = []
+    traces = [_build_trace(i, kernels) for i, (kernels, _launch) in enumerate(shapes)]
+    configs = [
+        StreamConfig(
+            workload=trace.name, launch_cycle=launch, cu_share=cu_share
+        )
+        for trace, (_kernels, launch) in zip(traces, shapes)
+    ]
+    hierarchy.enable_stream_accounting(len(configs))
+    traces = isolate_traces(traces, _SERVING_CONFIG.l2.line_bytes)
+    finished = []
+    gpu.run_streams(traces, configs, on_complete=lambda: finished.append(sim.now))
+    sim.run()
+    assert finished, "serving run deadlocked"
+    return gpu, stats, traces
+
+
+class TestServingStreamProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=st.lists(_stream_shape, min_size=1, max_size=2),
+        cu_share=st.sampled_from(["shared", "partitioned"]),
+    )
+    def test_per_stream_counters_sum_to_global_totals(self, shapes, cu_share):
+        gpu, stats, traces = _run_serving(shapes, cu_share)
+        num_streams = len(shapes)
+        assert (
+            sum(stats.get(f"stream{i}.mem_requests") for i in range(num_streams))
+            == stats.get("gpu.mem_requests")
+        )
+        assert (
+            sum(stats.get(f"stream{i}.kernels_completed") for i in range(num_streams))
+            == stats.get("gpu.kernels_completed")
+        )
+        for index, trace in enumerate(traces):
+            assert stats.get(f"stream{index}.kernels_completed") == trace.num_kernels
+            assert stats.get(f"stream{index}.mem_requests") == trace.line_requests
+            launch = stats.get(f"stream{index}.launch_cycle")
+            finish = stats.get(f"stream{index}.finish_cycle")
+            assert finish > launch
+            assert stats.get(f"stream{index}.cycles") == finish - launch
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=st.lists(_stream_shape, min_size=1, max_size=2),
+        cu_share=st.sampled_from(["shared", "partitioned"]),
+    )
+    def test_every_wavefront_runs_on_an_allowed_cu(self, shapes, cu_share):
+        gpu, stats, traces = _run_serving(shapes, cu_share)
+        total_wavefronts = sum(
+            kernel.num_wavefronts for trace in traces for kernel in trace.kernels
+        )
+        log = gpu.dispatch_log
+        # every wavefront dispatched exactly once
+        assert len(log) == total_wavefronts
+        assert len({wavefront_id for _s, _c, wavefront_id in log}) == total_wavefronts
+        for stream_id, cu_id, _wavefront_id in log:
+            assert 0 <= cu_id < len(gpu.cus)
+            ranges = gpu.cu_partition_of(stream_id)
+            if ranges is not None:  # partitioned mode with >= 2 streams
+                assert any(
+                    base <= cu_id < base + count for base, count in ranges
+                ), f"stream {stream_id} ran on CU {cu_id} outside {ranges}"
+        if cu_share == "partitioned" and len(shapes) > 1:
+            assert all(gpu.cu_partition_of(i) is not None for i in range(len(shapes)))
