@@ -16,7 +16,11 @@ The package provides:
   the paper: set-dueling policy selection at runtime, chiplet/multi-GPU
   systems with distributed L2 slices joined by a latency/bandwidth-
   modelled fabric, and concurrent execution streams with stream-scoped
-  cache synchronization for interference studies.
+  cache synchronization for interference studies;
+* a deterministic fault-injection subsystem (:mod:`repro.faults`) that
+  chaos-tests the simulated fleet -- link brownouts, device outages with
+  stream evacuation, DRAM latency storms, tenant churn -- with graceful
+  degradation and resilience metrics (availability, recovery latency).
 
 Quickstart::
 
@@ -62,6 +66,15 @@ from repro.core import (
     WorkloadCategory,
     classify,
     policy_by_name,
+)
+from repro.faults import (
+    FAULT_PLAN_NAMES,
+    FAULT_PLANS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    fault_plan_by_name,
+    generate_fault_plan,
 )
 from repro.session import SimulationSession, simulate
 from repro.stats import PolicyComparison, RunReport
@@ -134,6 +147,14 @@ __all__ = [
     "SERVING_MIXES",
     "MIX_NAMES",
     "mix_by_name",
+    # fault injection and graceful degradation
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_PLANS",
+    "FAULT_PLAN_NAMES",
+    "fault_plan_by_name",
+    "generate_fault_plan",
     # simulation
     "SimulationSession",
     "simulate",

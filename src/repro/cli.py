@@ -19,6 +19,9 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 * ``serve``     -- run the multi-tenant interference study: serving mixes of
   concurrent streams under shared vs partitioned CU dispatch (per-tenant
   slowdown + unfairness per cell).
+* ``faults``    -- run the resilience study: serving mixes under deterministic
+  fault plans (link brownouts, device outages, DRAM storms, tenant churn),
+  reporting slowdown + availability per cell.
 * ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
 * ``cache``     -- persistent result-store lifecycle: ``stats``, ``clear``,
@@ -78,7 +81,18 @@ from repro.experiments.interference import (
     interference_summary,
     mix_is_partitionable,
 )
+from repro.experiments.resilience import (
+    DEFAULT_RESILIENCE_MIXES,
+    DEFAULT_RESILIENCE_PLANS,
+    RESILIENCE_POLICIES,
+    figure_resilience,
+    plan_is_runnable,
+    resilience_artifact,
+    resilience_series,
+    resilience_summary,
+)
 from repro.experiments.store import ResultStore, default_cache_dir
+from repro.faults import FAULT_PLAN_NAMES, FAULT_PLANS, fault_plan_by_name
 from repro.session import simulate
 from repro.streams import MIX_NAMES, SERVING_MIXES, mix_by_name
 from repro.topology import TOPOLOGIES, TOPOLOGY_NAMES, TopologyConfig, topology_by_name
@@ -116,6 +130,20 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for sweeps (default: 1, serial)",
     )
     parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=argparse.SUPPRESS,
+        metavar="SECS",
+        help="with --jobs > 1, abandon a batch's stragglers after SECS seconds",
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="with --jobs > 1, retry dead or hung jobs N times on a fresh pool",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=argparse.SUPPRESS,
         metavar="DIR",
@@ -143,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for sweeps (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="with --jobs > 1, abandon a batch's stragglers after SECS "
+        "seconds (default: no timeout)",
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --jobs > 1, retry dead or hung jobs N times on a "
+        "fresh pool (default: 0)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -308,6 +352,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(serve)
 
+    faults = subparsers.add_parser(
+        "faults",
+        help="run the resilience study (serving mixes under fault plans)",
+    )
+    faults.add_argument(
+        "--mix", nargs="+", default=None, choices=list(MIX_NAMES),
+        help="serving mixes to chaos-test (default: "
+        + ", ".join(DEFAULT_RESILIENCE_MIXES) + ")",
+    )
+    faults.add_argument(
+        "--plans", nargs="+", default=None, choices=list(FAULT_PLAN_NAMES),
+        help="fault plans to inject (default: the healthy baseline plus "
+        "every single-cause plan; the baseline is always included)",
+    )
+    faults.add_argument(
+        "--policies",
+        nargs="+",
+        default=[p.name for p in RESILIENCE_POLICIES],
+        help="policy names (default: CacheRW plus the AB/CR optimizations)",
+    )
+    faults.add_argument(
+        "--topology", default="dual-chiplet", choices=list(TOPOLOGY_NAMES),
+        help="system topology (default: dual-chiplet -- the smallest "
+        "system where every fault kind can fire)",
+    )
+    faults.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the figure data and summary as JSON (CI artifact)",
+    )
+    faults.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="sweep checkpoint file: an interrupted run re-invoked with "
+        "the same path resumes without re-simulating finished cells",
+    )
+    _add_executor_options(faults)
+
     cache = subparsers.add_parser(
         "cache", help="persistent result-store lifecycle (stats/clear/prune)"
     )
@@ -359,6 +439,8 @@ def _runner(
         workload_names=workload_names,
         jobs=args.jobs,
         cache_dir=_cache_dir(args),
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
 
 
@@ -401,6 +483,13 @@ def _list_payload() -> dict[str, object]:
         "serving_mixes": {
             name: mix.describe() for name, mix in SERVING_MIXES.items()
         },
+        "fault_plans": {
+            name: {
+                "description": plan.description,
+                "events": list(plan.describe()["events"]),
+            }
+            for name, plan in FAULT_PLANS.items()
+        },
     }
 
 
@@ -434,6 +523,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
             f"{s.workload}@{s.launch_cycle}" for s in mix.streams
         )
         print(f"  {name:18s} [{tenants}]  {mix.description}")
+    print("\nFault plans:")
+    for name, plan in FAULT_PLANS.items():
+        print(f"  {name:18s} events: {len(plan.events)}  {plan.description}")
     return 0
 
 
@@ -492,6 +584,8 @@ def _cmd_sweep_all(args: argparse.Namespace) -> int:
         workload_names=args.workloads,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
     policies = [policy_by_name(name) for name in args.policies]
     runner.sweep(policies=policies)
@@ -533,6 +627,8 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         workload_names=args.workloads,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
     figure = figure14_adaptive(runner, adaptive_config=adaptive_config)
     summary = adaptive_summary(figure)
@@ -615,6 +711,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         workload_names=workload_names,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
     policies = [policy_by_name(name) for name in args.policies]
     figure = figure_scaling(
@@ -693,6 +791,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=_system_config(args),
         jobs=args.jobs,
         cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
     if "partitioned" in modes:
         for mix in mixes:
@@ -752,6 +852,115 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"[serve] grid={len(mixes)}x{len(policies)}x{len(modes)} "
         f"jobs={args.jobs} store={cache_dir or 'disabled'} "
         f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run the resilience study and print/record its figure.
+
+    Plans that need more devices than the chosen topology provides abort
+    up front (exit 2: the user asked for something the system cannot
+    host); plans that merely target streams a narrow mix lacks skip that
+    mix's cell with a note on stderr, matching how ``serve`` treats
+    unpartitionable mixes.  Determinism makes chaos cacheable, so like the
+    other sweep commands ``faults`` defaults to the conventional
+    persistent store -- a warm repeat simulates nothing.
+    """
+    mixes = [mix_by_name(name) for name in (args.mix or DEFAULT_RESILIENCE_MIXES)]
+    policies = [policy_by_name(name) for name in args.policies]
+    plans = [
+        fault_plan_by_name(name)
+        for name in (args.plans or DEFAULT_RESILIENCE_PLANS)
+    ]
+    if not any(plan.empty for plan in plans):
+        plans.insert(0, FAULT_PLANS["none"])
+    topology = topology_by_name(args.topology)
+
+    num_devices = topology.num_devices
+    for plan in plans:
+        needed = plan.requires_devices()
+        if needed > num_devices:
+            print(
+                f"error: fault plan {plan.label!r} needs {needed} devices but "
+                f"topology {topology.label!r} has {num_devices}; pick a wider "
+                "--topology or drop the plan",
+                file=sys.stderr,
+            )
+            return 2
+    for mix in mixes:
+        for plan in plans:
+            reason = plan_is_runnable(plan, topology, mix.num_streams)
+            if reason is not None:
+                print(
+                    f"[faults] note: plan {plan.label} skipped for {mix.name}: "
+                    f"{reason}",
+                    file=sys.stderr,
+                )
+
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        config=_system_config(args),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
+    )
+    try:
+        figure = figure_resilience(
+            runner,
+            mixes=mixes,
+            policies=policies,
+            plans=plans,
+            topology=topology,
+            checkpoint_path=args.checkpoint,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = resilience_summary(figure)
+    print(
+        render_series_table(
+            "Resilience: slowdown vs the healthy baseline (same policy)",
+            resilience_series(figure, "slowdown"),
+        )
+    )
+    print(
+        render_series_table(
+            "Resilience: availability (fraction of the run with no fault active)",
+            resilience_series(figure, "availability"),
+        )
+    )
+    print(
+        render_series_table(
+            "Resilience summary (geomean slowdown / mean availability)", summary
+        )
+    )
+
+    if args.json_out:
+        blob = resilience_artifact(
+            figure,
+            summary,
+            plans=plans,
+            policies=[p.name for p in policies],
+            topology=topology.describe(),
+            scale=args.scale,
+            num_cus=runner.config.gpu.num_cus,
+        )
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[faults] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    stats = runner.stats()
+    print(
+        f"[faults] grid={len(mixes)}x{len(policies)}x{len(plans)} "
+        f"topology={topology.label} jobs={args.jobs} "
+        f"store={cache_dir or 'disabled'} "
+        f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']} "
+        f"failed={stats['runs_failed']}",
         file=sys.stderr,
     )
     return 0
@@ -823,6 +1032,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
+    if args.job_retries < 0:
+        parser.error(f"--job-retries must be >= 0, got {args.job_retries}")
     try:
         if args.command == "list":
             return _cmd_list(args)
@@ -838,6 +1051,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_topology(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "figure":

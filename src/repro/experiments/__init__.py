@@ -21,6 +21,9 @@ Each module corresponds to a block of the paper's evaluation:
 * :mod:`repro.experiments.interference` -- the multi-tenant interference
   study: serving mixes of concurrent streams under shared vs partitioned
   CU dispatch (per-tenant slowdown and unfairness per cell).
+* :mod:`repro.experiments.resilience` -- the chaos study: serving mixes
+  under deterministic fault plans (link brownouts, device outages, DRAM
+  storms, tenant churn), reporting slowdown and availability per cell.
 * :mod:`repro.experiments.jobs` -- the job-based sweep executor:
   :class:`JobSpec` grid cells, serial and process-pool backends, and the
   store-aware :class:`SweepExecutor`.
@@ -31,9 +34,11 @@ Each module corresponds to a block of the paper's evaluation:
 """
 
 from repro.experiments.jobs import (
+    JobFailure,
     JobSpec,
     ProcessPoolBackend,
     SerialBackend,
+    SweepCheckpoint,
     SweepExecutor,
     execute_job,
 )
@@ -69,6 +74,11 @@ from repro.experiments.interference import (
     interference_summary,
     interference_series,
 )
+from repro.experiments.resilience import (
+    figure_resilience,
+    resilience_series,
+    resilience_summary,
+)
 from repro.experiments.tables import table1_system_configuration, table2_workloads
 from repro.experiments.render import render_series_table
 
@@ -76,8 +86,10 @@ __all__ = [
     "ExperimentRunner",
     "SweepResult",
     "JobSpec",
+    "JobFailure",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SweepCheckpoint",
     "SweepExecutor",
     "ResultStore",
     "default_cache_dir",
@@ -103,6 +115,9 @@ __all__ = [
     "figure_interference",
     "interference_summary",
     "interference_series",
+    "figure_resilience",
+    "resilience_summary",
+    "resilience_series",
     "table1_system_configuration",
     "table2_workloads",
     "render_series_table",

@@ -24,8 +24,14 @@ computed in a worker process) is bit-identical to one computed inline.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Protocol, Sequence
 
 from repro.adaptive.config import AdaptiveConfig
@@ -33,7 +39,8 @@ from repro.config import SystemConfig, default_config
 from repro.core.policies import PolicySpec
 from repro.core.reuse_predictor import PredictorConfig
 from repro.experiments.store import ResultStore
-from repro.fingerprint import fingerprint
+from repro.faults.config import FaultPlan
+from repro.fingerprint import SCHEMA_VERSION, fingerprint
 from repro.session import simulate
 from repro.stats.report import RunReport
 from repro.streams.config import StreamConfig
@@ -42,9 +49,11 @@ from repro.workloads.registry import get_workload
 
 __all__ = [
     "JobSpec",
+    "JobFailure",
     "ExecutorStats",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SweepCheckpoint",
     "SweepExecutor",
     "execute_job",
 ]
@@ -77,6 +86,13 @@ class JobSpec:
             (per-stream scales govern); the stream configurations are part
             of the fingerprint, so two mixes differing in any tenant
             parameter never share a store entry.
+        faults: when given, the run injects this
+            :class:`~repro.faults.config.FaultPlan`'s events.  The event
+            schedule is part of the fingerprint, so chaos sweeps cache
+            like healthy ones; the *empty* plan fingerprints identically
+            to no plan at all (it is bit-identical by construction), so
+            the healthy baseline of a resilience sweep shares its store
+            entry with ordinary serving runs.
     """
 
     workload: str
@@ -88,6 +104,7 @@ class JobSpec:
     adaptive: Optional[AdaptiveConfig] = None
     topology: Optional[TopologyConfig] = None
     streams: Optional[tuple[StreamConfig, ...]] = None
+    faults: Optional[FaultPlan] = None
 
     def fingerprint(self) -> str:
         """Stable key over every input that can affect the result.
@@ -115,6 +132,13 @@ class JobSpec:
                     if self.streams is None
                     else [stream.describe() for stream in self.streams]
                 ),
+                # the empty plan is bit-identical to no plan: both hash as
+                # None so resilience baselines reuse healthy store entries
+                "faults": (
+                    None
+                    if self.faults is None or self.faults.empty
+                    else self.faults.describe()
+                ),
             },
             kind="JobSpec",
         )
@@ -135,6 +159,9 @@ class JobSpec:
             summary["num_devices"] = self.topology.num_devices
         if self.streams is not None:
             summary["streams"] = [stream.describe() for stream in self.streams]
+        if self.faults is not None and not self.faults.empty:
+            summary["faults"] = self.faults.label
+            summary["fault_events"] = len(self.faults.events)
         return summary
 
 
@@ -149,6 +176,7 @@ def execute_job(job: JobSpec) -> RunReport:
             adaptive=job.adaptive,
             topology=job.topology,
             streams=job.streams,
+            faults=job.faults,
         )
     workload = get_workload(job.workload, scale=job.scale)
     return simulate(
@@ -159,6 +187,7 @@ def execute_job(job: JobSpec) -> RunReport:
         dbi_max_rows=job.dbi_max_rows,
         adaptive=job.adaptive,
         topology=job.topology,
+        faults=job.faults,
     )
 
 
@@ -177,6 +206,38 @@ def _execute_job_payload(job: JobSpec) -> dict[str, object]:
 ResultCallback = Callable[[int, RunReport], None]
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that a backend could not complete.
+
+    Backends keep the batch draining when a worker dies, times out or
+    raises; every job still unfinished after the final retry becomes one
+    of these on ``backend.failures`` (and, via the executor, on
+    ``ExecutorStats.failures``) -- a worker crash is data, not a silent
+    hole in the sweep.
+    """
+
+    #: position of the job in the submitted batch
+    index: int
+    #: the job's store fingerprint (joins failures to grid cells)
+    fingerprint: str
+    #: human-readable job inputs (:meth:`JobSpec.summary`)
+    job: dict[str, object]
+    #: ``repr`` of the final exception (a TimeoutError for hung jobs)
+    error: str
+    #: batch attempts made before giving up (1 = no retries)
+    attempts: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "fingerprint": self.fingerprint,
+            "job": dict(self.job),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
 class SweepBackend(Protocol):
     """Anything that can turn a batch of jobs into reports, in order.
 
@@ -192,15 +253,39 @@ class SweepBackend(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def _failure(job: JobSpec, index: int, exc: BaseException, attempts: int) -> JobFailure:
+    return JobFailure(
+        index=index,
+        fingerprint=job.fingerprint(),
+        job=job.summary(),
+        error=repr(exc),
+        attempts=attempts,
+    )
+
+
 class SerialBackend:
-    """Run every job in the calling process, one after another."""
+    """Run every job in the calling process, one after another.
+
+    A raising job still stops the batch (serial runs are the debugging
+    path; fail fast, keep the traceback), but the failure is recorded on
+    :attr:`failures` first so the executor can account for it.
+    """
+
+    def __init__(self) -> None:
+        #: structured records of jobs that raised, reset per batch
+        self.failures: list[JobFailure] = []
 
     def run_jobs(
         self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
     ) -> list[RunReport]:
+        self.failures = []
         reports = []
         for index, job in enumerate(jobs):
-            report = execute_job(job)
+            try:
+                report = execute_job(job)
+            except BaseException as exc:
+                self.failures.append(_failure(job, index, exc, attempts=1))
+                raise
             if on_result is not None:
                 on_result(index, report)
             reports.append(report)
@@ -217,60 +302,162 @@ class ProcessPoolBackend:
         max_workers: worker process count (``None`` lets
             :class:`~concurrent.futures.ProcessPoolExecutor` use one per
             core).
+        timeout: wall-clock seconds the whole batch may go without any job
+            finishing before the remaining jobs are declared hung and the
+            pool abandoned (``None`` waits forever).  Hung jobs are
+            retried like crashed ones.
+        retries: extra whole-pool attempts for jobs that crash, hang or
+            raise.  A worker killed by the OS (OOM, SIGKILL) poisons the
+            entire pool, so each retry starts a fresh pool containing only
+            the still-unfinished jobs.
+        retry_backoff: base seconds slept before retry ``n`` (exponential:
+            ``retry_backoff * 2**(n-1)``); ``0`` retries immediately.
 
-    The pool is created per batch rather than held open: sweep batches are
-    coarse (each job is a whole simulation), so the fork cost is noise, and
-    a short-lived pool cannot leak workers into test runners or the CLI.
+    The pool is created per attempt rather than held open: sweep batches
+    are coarse (each job is a whole simulation), so the fork cost is noise,
+    a short-lived pool cannot leak workers into test runners or the CLI,
+    and a broken pool (dead worker) never contaminates the retry.
+
+    After every batch, jobs that still failed after the final attempt are
+    recorded on :attr:`failures` as :class:`JobFailure` entries; the first
+    error is then re-raised so callers that expect exceptions keep working.
+    Finished jobs were already delivered through ``on_result``, so a sweep
+    with a persistent store loses nothing but the failed cells.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        #: structured records of jobs unfinished after the final attempt
+        self.failures: list[JobFailure] = []
+
+    def _sleep_before_retry(self, attempt: int) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
     def run_jobs(
         self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
     ) -> list[RunReport]:
         jobs = list(jobs)
+        self.failures = []
         if not jobs:
             return []
         if len(jobs) == 1:
-            # a pool fork for a single job is pure overhead
-            report = execute_job(jobs[0])
-            if on_result is not None:
-                on_result(0, report)
-            return [report]
+            return self._run_single(jobs[0], on_result)
+        reports: list[Optional[RunReport]] = [None] * len(jobs)
+        pending = list(range(len(jobs)))
+        errors: dict[int, BaseException] = {}
+        attempt = 0
+        while pending:
+            attempt += 1
+            if attempt > 1:
+                self._sleep_before_retry(attempt - 1)
+            errors_now = self._run_attempt(
+                jobs, pending, reports, on_result, attempt
+            )
+            errors.update(errors_now)
+            pending = sorted(errors_now)
+            if attempt >= self.retries + 1:
+                break
+        if pending:
+            for index in pending:
+                self.failures.append(
+                    _failure(jobs[index], index, errors[index], attempts=attempt)
+                )
+            raise errors[pending[0]]
+        assert all(report is not None for report in reports)
+        return reports  # type: ignore[return-value]
+
+    def _run_single(
+        self, job: JobSpec, on_result: Optional[ResultCallback]
+    ) -> list[RunReport]:
+        # a pool fork for a single job is pure overhead: run in-process,
+        # still honouring the retry budget (timeouts need a pool; a single
+        # in-process job cannot be interrupted, so none is enforced here)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                report = execute_job(job)
+                break
+            except BaseException as exc:
+                if attempt >= self.retries + 1:
+                    self.failures.append(_failure(job, 0, exc, attempts=attempt))
+                    raise
+                self._sleep_before_retry(attempt)
+        if on_result is not None:
+            on_result(0, report)
+        return [report]
+
+    def _run_attempt(
+        self,
+        jobs: Sequence[JobSpec],
+        pending: Sequence[int],
+        reports: list[Optional[RunReport]],
+        on_result: Optional[ResultCallback],
+        attempt: int,
+    ) -> dict[int, BaseException]:
+        """One fresh pool over the still-unfinished jobs; returns its errors."""
         workers = self.max_workers
         if workers is not None:
-            workers = min(workers, len(jobs))
-        reports: list[Optional[RunReport]] = [None] * len(jobs)
-        first_error: Optional[BaseException] = None
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+            workers = min(workers, len(pending))
+        errors: dict[int, BaseException] = {}
+        timed_out = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             # submit + as_completed (rather than pool.map) so the callback
             # fires the moment any job lands, in completion order -- a slow
             # or failing early job cannot hold finished results hostage
             futures = {
-                pool.submit(_execute_job_payload, job): index
-                for index, job in enumerate(jobs)
+                pool.submit(_execute_job_payload, jobs[index]): index
+                for index in pending
             }
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    report = RunReport.from_dict(future.result())
-                except BaseException as exc:  # keep draining: persist survivors
-                    if first_error is None:
-                        first_error = exc
-                    continue
-                if on_result is not None:
-                    on_result(index, report)
-                reports[index] = report
-        if first_error is not None:
-            raise first_error
-        assert all(report is not None for report in reports)
-        return reports  # type: ignore[return-value]
+            try:
+                for future in as_completed(futures, timeout=self.timeout):
+                    index = futures[future]
+                    try:
+                        report = RunReport.from_dict(future.result())
+                    except BaseException as exc:  # keep draining the batch
+                        errors[index] = exc
+                        continue
+                    reports[index] = report
+                    if on_result is not None:
+                        on_result(index, report)
+            except FuturesTimeoutError:
+                timed_out = True
+                for index in futures.values():
+                    if reports[index] is None and index not in errors:
+                        errors[index] = FuturesTimeoutError(
+                            f"job did not finish within {self.timeout}s "
+                            f"(attempt {attempt})"
+                        )
+        finally:
+            # on timeout the stuck worker must not hold the sweep hostage:
+            # abandon the pool without waiting and let a fresh one retry
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return errors
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ProcessPoolBackend(max_workers={self.max_workers})"
+        return (
+            f"ProcessPoolBackend(max_workers={self.max_workers}, "
+            f"timeout={self.timeout}, retries={self.retries})"
+        )
 
 
 @dataclass
@@ -279,6 +466,9 @@ class ExecutorStats:
 
     runs_simulated: int = 0
     runs_loaded: int = 0
+    runs_failed: int = 0
+    #: structured records behind :attr:`runs_failed` (cumulative)
+    failures: list[JobFailure] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -288,7 +478,103 @@ class ExecutorStats:
         return {
             "runs_simulated": self.runs_simulated,
             "runs_loaded": self.runs_loaded,
+            "runs_failed": self.runs_failed,
         }
+
+
+class SweepCheckpoint:
+    """Crash-safe progress record for one sweep: which cells finished.
+
+    The persistent :class:`~repro.experiments.store.ResultStore` already
+    holds every finished report; what it cannot say is *which sweep* those
+    entries belong to or how far that sweep got.  A checkpoint records the
+    sweep's identity (a fingerprint over its sorted job keys) and the set
+    of completed keys, rewritten atomically after every completion -- so a
+    SIGKILLed sweep re-run with the same checkpoint path resumes exactly
+    where it died: already-done cells come back as store hits and the
+    checkpoint proves none of them were re-simulated.
+
+    A checkpoint file for a *different* sweep (or a torn/alien file) is
+    ignored and overwritten rather than trusted: resuming is an
+    optimization, never a correctness hazard.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], keys: Sequence[str]) -> None:
+        self.path = Path(path)
+        unique = sorted(set(keys))
+        self.sweep_id = fingerprint(unique, kind="SweepCheckpoint")
+        self.total = len(unique)
+        self._keys = set(unique)
+        self.done: set[str] = set()
+        #: True when a prior run's progress was loaded from ``path``
+        self.resumed = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            blob = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # missing or torn: start fresh
+        if not isinstance(blob, dict) or blob.get("schema") != SCHEMA_VERSION:
+            return
+        if blob.get("sweep") != self.sweep_id:
+            return  # different sweep: do not inherit its progress
+        done = blob.get("done")
+        if not isinstance(done, list):
+            return
+        self.done = {str(key) for key in done} & self._keys
+        self.resumed = bool(self.done)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) >= self.total
+
+    @property
+    def remaining(self) -> int:
+        return self.total - len(self.done)
+
+    def mark_done(self, key: str) -> None:
+        """Record one finished cell and persist the file atomically."""
+        if key in self.done:
+            return
+        self.done.add(key)
+        self.write()
+
+    def write(self) -> None:
+        blob = {
+            "schema": SCHEMA_VERSION,
+            "sweep": self.sweep_id,
+            "total": self.total,
+            "done": sorted(self.done),
+            "completed": self.complete,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.path.parent,
+            prefix=self.path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(blob, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, self.path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepCheckpoint({str(self.path)!r}, done={len(self.done)}/"
+            f"{self.total}, resumed={self.resumed})"
+        )
 
 
 class SweepExecutor:
@@ -314,13 +600,30 @@ class SweepExecutor:
         self.store = store
         self.stats = ExecutorStats()
 
-    def run(self, jobs: Sequence[JobSpec]) -> list[RunReport]:
+    def _record_failures(self) -> None:
+        """Harvest the backend's per-batch failure records into the stats."""
+        failures = getattr(self.backend, "failures", None)
+        if failures:
+            self.stats.failures.extend(failures)
+            self.stats.runs_failed += len(failures)
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> list[RunReport]:
         """Resolve every job to a report, in input order.
 
         Store hits are loaded; the rest are simulated on the backend in one
         batch (the parallel fan-out point) and written back to the store as
         each one finishes, so even an interrupted sweep keeps its completed
         cells.  Duplicate jobs within a batch are simulated only once.
+
+        When ``checkpoint`` is given, every completion (loaded or
+        simulated) is recorded in it as it happens; an interrupted sweep
+        re-run against the same checkpoint path resumes with its finished
+        cells as store hits.  Failed jobs are recorded on
+        ``stats.failures`` before the error propagates.
         """
         jobs = list(jobs)
         reports: list[Optional[RunReport]] = [None] * len(jobs)
@@ -339,6 +642,8 @@ class SweepExecutor:
                 loaded[key] = cached
                 reports[index] = cached
                 self.stats.runs_loaded += 1
+                if checkpoint is not None:
+                    checkpoint.mark_done(key)
             else:
                 pending[key] = [index]
         if pending:
@@ -347,14 +652,21 @@ class SweepExecutor:
 
             def persist(batch_index: int, report: RunReport) -> None:
                 self.stats.runs_simulated += 1
+                key = keys[batch_index]
                 if self.store is not None:
-                    key = keys[batch_index]
                     self.store.save(key, report, job=batch[batch_index].summary())
+                if checkpoint is not None:
+                    checkpoint.mark_done(key)
 
-            fresh = self.backend.run_jobs(batch, on_result=persist)
+            try:
+                fresh = self.backend.run_jobs(batch, on_result=persist)
+            finally:
+                self._record_failures()
             for key, report in zip(keys, fresh):
                 for index in pending[key]:
                     reports[index] = report
+        elif checkpoint is not None and not checkpoint.done and not jobs:
+            checkpoint.write()
         assert all(report is not None for report in reports)
         return reports  # type: ignore[return-value]
 

@@ -24,9 +24,11 @@ from repro.experiments.jobs import (
     JobSpec,
     ProcessPoolBackend,
     SerialBackend,
+    SweepCheckpoint,
     SweepExecutor,
 )
 from repro.experiments.store import ResultStore
+from repro.faults.config import FaultPlan
 from repro.stats.comparison import PolicyComparison
 from repro.stats.report import RunReport
 from repro.streams.config import ServingMix
@@ -93,6 +95,11 @@ class ExperimentRunner:
             :class:`ProcessPoolBackend` that fans the grid out across cores.
         cache_dir: directory for the persistent result store; ``None``
             keeps results in-process only (the pre-existing behaviour).
+        job_timeout: with a process pool, seconds each batch may run
+            before its stragglers are abandoned (and retried, if
+            ``job_retries`` allows).
+        job_retries: with a process pool, how many times a dead or hung
+            job is retried on a fresh pool before its failure is raised.
     """
 
     def __init__(
@@ -103,13 +110,17 @@ class ExperimentRunner:
         executor: Optional[SweepExecutor] = None,
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 0,
     ) -> None:
         self.scale = scale
         self.config = config or default_config()
         self.workload_names = tuple(workload_names or WORKLOAD_NAMES)
         if executor is None:
             backend = (
-                ProcessPoolBackend(max_workers=jobs)
+                ProcessPoolBackend(
+                    max_workers=jobs, timeout=job_timeout, retries=job_retries
+                )
                 if jobs is not None and jobs > 1
                 else SerialBackend()
             )
@@ -361,6 +372,83 @@ class ExperimentRunner:
         }
 
     # ------------------------------------------------------------------
+    def resilience_job_for(
+        self,
+        mix: ServingMix,
+        policy: PolicySpec,
+        topology: Optional[TopologyConfig],
+        faults: Optional[FaultPlan],
+    ) -> JobSpec:
+        """The :class:`JobSpec` for one chaos cell: a serving mix on a
+        (possibly multi-device) system with a fault plan injected.
+
+        With an empty plan (or ``None``) the job fingerprints identically
+        to the corresponding healthy serving run, so the baseline column
+        of a resilience figure is shared with the interference study
+        through the store.
+        """
+        scaled = mix.scaled(self.scale)
+        return JobSpec(
+            workload=mix.name,
+            policy=policy,
+            config=self.config,
+            streams=scaled.streams,
+            topology=topology,
+            faults=faults,
+        )
+
+    def resilience_sweep(
+        self,
+        mixes: Sequence[ServingMix],
+        policies: Iterable[PolicySpec],
+        plans: Sequence[FaultPlan],
+        topology: Optional[TopologyConfig] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> dict[tuple[str, str, str], RunReport]:
+        """One run per (mix, policy, fault plan) cell, memoized.
+
+        Returns reports keyed by ``(mix fingerprint, policy name, plan
+        fingerprint)``.  Cells missing from the in-process memo go to the
+        executor as one batch (optionally progress-tracked by
+        ``checkpoint``); with a store attached, a warm repeat of a chaos
+        sweep performs zero simulations -- determinism makes even fault
+        injection cacheable.
+        """
+        policy_list = tuple(policies)
+        topo_tag = "" if topology is None else topology.fingerprint()
+        grid = [
+            (mix, policy, plan, mix.fingerprint(), plan.fingerprint())
+            for mix in mixes
+            for policy in policy_list
+            for plan in plans
+        ]
+
+        def memo_key(cell: tuple) -> tuple[str, str]:
+            _mix, policy, _plan, mix_tag, plan_tag = cell
+            return (
+                f"mix:{mix_tag}",
+                f"{policy.name}@topo:{topo_tag}@faults:{plan_tag}",
+            )
+
+        pending = [cell for cell in grid if memo_key(cell) not in self._cache]
+        self._memo_hits += len(grid) - len(pending)
+        if pending:
+            reports = self.executor.run(
+                [
+                    self.resilience_job_for(mix, policy, topology, plan)
+                    for mix, policy, plan, _mix_tag, _plan_tag in pending
+                ],
+                checkpoint=checkpoint,
+            )
+            for cell, report in zip(pending, reports):
+                self._cache[memo_key(cell)] = report
+        return {
+            (mix_tag, policy.name, plan_tag): self._cache[memo_key(cell)]
+            for cell in grid
+            for _mix, policy, _plan, mix_tag, plan_tag in [cell]
+        }
+
+    # ------------------------------------------------------------------
     def cached_runs(self) -> int:
         """Number of simulations memoized in-process so far."""
         return len(self._cache)
@@ -390,6 +478,7 @@ class ExperimentRunner:
         return {
             "runs_simulated": self.runs_simulated,
             "runs_loaded": self.runs_loaded,
+            "runs_failed": self.executor.stats.runs_failed,
             "memo_hits": self._memo_hits,
             "cached_runs": len(self._cache),
         }

@@ -133,6 +133,12 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(blob, handle, sort_keys=True)
+                # flush + fsync before the rename: os.replace alone keeps
+                # readers from seeing a torn blob, but only a durable temp
+                # file keeps a power cut from replacing a good entry with
+                # an empty one
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -1,0 +1,340 @@
+"""Fault plans: deterministic schedules of injected failures.
+
+A :class:`FaultPlan` is a frozen, fingerprintable schedule of
+:class:`FaultEvent` entries -- each one names a *kind* of failure, the
+cycle it strikes, the component it strikes (a device or a stream), and
+how long it lasts.  The plan is pure data: the
+:class:`~repro.faults.injector.FaultInjector` turns it into scheduled
+events on the simulator's own queue, so a faulted run is exactly as
+deterministic and reproducible as a healthy one.  The empty plan injects
+nothing and is bit-identical to running without a plan at all (enforced
+per golden scenario in ``tests/integration/test_core_equivalence.py``).
+
+Event kinds:
+
+* ``link_degrade`` -- the fabric links touching one device (or all
+  devices) gain ``extra_latency`` cycles per crossing for ``duration``
+  cycles: a browned-out interconnect.  Needs a multi-device topology.
+* ``link_outage`` -- those links stop granting transfers entirely:
+  remote traffic queued on them stalls until the outage lifts (the
+  ``duration`` must be positive -- a permanent outage would deadlock
+  remote traffic by construction).
+* ``device_fail`` -- one device's compute side dies: its queued
+  wavefronts are evacuated and re-dispatched onto the surviving
+  devices, its L2 slice flushes dirty lines so no data is lost (the
+  memory partition itself survives), and until recovery its fabric
+  interface runs degraded by the topology's remote latency.
+  ``duration == 0`` means the device never comes back.
+* ``dram_spike`` -- every DRAM bank on the target device (or all
+  devices) serves accesses ``extra_latency`` cycles slower for
+  ``duration`` cycles: a thermal-throttle / refresh-storm transient.
+* ``stream_kill`` -- tenant churn in a serving run: the target stream's
+  queued wavefronts are dropped, its in-flight wavefronts drain, its
+  cache footprint is evicted, and after ``duration`` cycles the tenant
+  restarts its interrupted kernel from the top.  ``duration == 0``
+  kills the tenant for good.
+
+:func:`generate_fault_plan` derives a plan pseudo-randomly from an
+integer seed; the events are materialized eagerly, so the same seed
+always yields the identical event schedule (property-tested).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.fingerprint import fingerprint
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "FAULT_PLANS",
+    "FAULT_PLAN_NAMES",
+    "fault_plan_by_name",
+    "generate_fault_plan",
+]
+
+#: every fault kind the injector understands
+FAULT_KINDS = (
+    "link_degrade",
+    "link_outage",
+    "device_fail",
+    "dram_spike",
+    "stream_kill",
+)
+
+#: kinds whose target is a device index (-1 = every device)
+_DEVICE_KINDS = ("link_degrade", "link_outage", "device_fail", "dram_spike")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    Attributes:
+        cycle: absolute simulation cycle the fault strikes.
+        kind: one of :data:`FAULT_KINDS`.
+        target: device index for the device-scoped kinds (``-1`` = all
+            devices, where meaningful), stream index for ``stream_kill``.
+        duration: cycles until the fault heals; ``0`` = permanent.
+            ``link_outage`` requires a positive duration (a permanent
+            outage deadlocks remote traffic by construction).
+        extra_latency: added cycles per affected operation
+            (``link_degrade`` and ``dram_spike`` only).
+    """
+
+    cycle: int
+    kind: str
+    target: int = -1
+    duration: int = 0
+    extra_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+            )
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be non-negative, got {self.cycle}")
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be non-negative, got {self.duration}")
+        if self.extra_latency < 0:
+            raise ValueError(
+                f"fault extra_latency must be non-negative, got {self.extra_latency}"
+            )
+        if self.kind in ("link_degrade", "dram_spike") and self.extra_latency == 0:
+            raise ValueError(f"a {self.kind} event needs a positive extra_latency")
+        if self.kind == "link_outage" and self.duration == 0:
+            raise ValueError(
+                "a link_outage needs a positive duration: a permanent outage "
+                "would stall remote traffic forever (model deadlock)"
+            )
+        if self.kind == "stream_kill" and self.target < 0:
+            raise ValueError("a stream_kill must target one stream (target >= 0)")
+        if self.kind == "device_fail" and self.target < 0:
+            raise ValueError("a device_fail must target one device (target >= 0)")
+
+    def describe(self) -> dict[str, object]:
+        """Primitive summary (fingerprint input / ``list --json`` output)."""
+        return {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "target": self.target,
+            "duration": self.duration,
+            "extra_latency": self.extra_latency,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    Like :class:`~repro.topology.config.TopologyConfig`, the plan is a
+    frozen dataclass of primitives: :func:`repro.fingerprint.fingerprint`
+    over the event schedule gives it a stable content hash, and faulted
+    runs key into the persistent result store exactly like healthy ones.
+    The display-only ``name`` is excluded from the fingerprint.
+
+    The default (no events) is the *empty plan*: it schedules nothing,
+    touches no counters, and is bit-identical to running without a fault
+    plan at all.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    name: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # normalize to a sorted tuple so equal schedules written in any
+        # order fingerprint (and replay) identically
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.cycle, e.kind, e.target, e.duration))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the bit-identical baseline)."""
+        return not self.events
+
+    @property
+    def label(self) -> str:
+        """Display name used in figures and CLI output."""
+        return self.name or ("none" if self.empty else f"{len(self.events)}-events")
+
+    def requires_devices(self) -> int:
+        """Minimum device count a system needs to host this plan."""
+        needed = 1
+        for event in self.events:
+            if event.kind == "dram_spike":
+                # a spike needs no fabric: any system has DRAM banks
+                needed = max(needed, event.target + 1)
+            elif event.kind in _DEVICE_KINDS:
+                # the target must exist, and link/device faults only mean
+                # something where a fabric exists: at least two devices
+                needed = max(needed, event.target + 1, 2)
+        return needed
+
+    def requires_streams(self) -> int:
+        """Minimum serving-stream count this plan's kill events need
+        (0: the plan works outside serving runs too)."""
+        needed = 0
+        for event in self.events:
+            if event.kind == "stream_kill":
+                needed = max(needed, event.target + 1)
+        return needed
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the event schedule (name excluded)."""
+        return fingerprint(self.describe(), kind="FaultPlan")
+
+    def describe(self) -> dict[str, object]:
+        """Primitive summary used by ``list --json`` and fingerprints."""
+        return {"events": [event.describe() for event in self.events]}
+
+
+def generate_fault_plan(
+    seed: int,
+    horizon_cycles: int = 40_000,
+    num_devices: int = 2,
+    num_streams: int = 2,
+    events_per_kind: int = 1,
+    name: str = "",
+) -> FaultPlan:
+    """Derive a chaos plan pseudo-randomly from ``seed``.
+
+    The schedule is materialized eagerly from a private
+    :class:`random.Random`, so the same arguments always produce the
+    identical plan -- generation is the only place randomness exists;
+    replay is pure event-queue determinism.
+
+    Args:
+        seed: RNG seed; the plan's sole source of entropy.
+        horizon_cycles: events strike uniformly in ``[0, horizon_cycles)``
+            (keep it inside the expected run length or late events no-op).
+        num_devices: device count of the system the plan is meant for;
+            device-scoped faults target ``[0, num_devices)`` and device
+            failures spare device 0 so at least one survivor remains.
+        num_streams: serving-stream count; ``0`` omits tenant churn.
+        events_per_kind: how many events of each applicable kind to draw.
+    """
+    if horizon_cycles < 1:
+        raise ValueError(f"horizon_cycles must be positive, got {horizon_cycles}")
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    if events_per_kind < 0:
+        raise ValueError(f"events_per_kind must be non-negative, got {events_per_kind}")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    for _ in range(events_per_kind):
+        if num_devices > 1:
+            events.append(
+                FaultEvent(
+                    cycle=rng.randrange(horizon_cycles),
+                    kind="link_degrade",
+                    target=rng.randrange(-1, num_devices),
+                    duration=rng.randrange(1, horizon_cycles // 2 + 1),
+                    extra_latency=rng.randrange(20, 400),
+                )
+            )
+            events.append(
+                FaultEvent(
+                    cycle=rng.randrange(horizon_cycles),
+                    kind="link_outage",
+                    target=rng.randrange(-1, num_devices),
+                    duration=rng.randrange(1, max(2, horizon_cycles // 8)),
+                )
+            )
+            events.append(
+                FaultEvent(
+                    cycle=rng.randrange(horizon_cycles),
+                    kind="device_fail",
+                    # spare device 0 so the evacuation always has a survivor
+                    target=rng.randrange(1, num_devices),
+                    duration=rng.randrange(1, horizon_cycles // 2 + 1),
+                )
+            )
+        events.append(
+            FaultEvent(
+                cycle=rng.randrange(horizon_cycles),
+                kind="dram_spike",
+                target=rng.randrange(-1, num_devices),
+                duration=rng.randrange(1, horizon_cycles // 2 + 1),
+                extra_latency=rng.randrange(50, 600),
+            )
+        )
+        if num_streams > 0:
+            events.append(
+                FaultEvent(
+                    cycle=rng.randrange(horizon_cycles),
+                    kind="stream_kill",
+                    target=rng.randrange(num_streams),
+                    duration=rng.randrange(1, horizon_cycles // 2 + 1),
+                )
+            )
+    return FaultPlan(
+        events=tuple(events),
+        name=name or f"seed{seed}",
+        description=f"generated chaos plan (seed={seed})",
+    )
+
+
+#: registered fault plans.  Event cycles sit in the first few thousand
+#: cycles so the plans bite even at the small CI scales; durations are
+#: long enough that degradation overlaps real work.  All plans assume the
+#: resilience study's default system (2+ devices, 2+ serving streams);
+#: the CLI checks each plan's requirements against the chosen topology
+#: and mix before sweeping.
+FAULT_PLANS: dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none", description="healthy baseline (no faults)"),
+    "link-brownout": FaultPlan(
+        events=(
+            FaultEvent(cycle=1_500, kind="link_degrade", target=-1,
+                       duration=8_000, extra_latency=150),
+            FaultEvent(cycle=12_000, kind="link_outage", target=-1, duration=2_000),
+        ),
+        name="link-brownout",
+        description="fabric-wide degradation then a short total outage",
+    ),
+    "device-outage": FaultPlan(
+        events=(
+            FaultEvent(cycle=3_000, kind="device_fail", target=1, duration=15_000),
+        ),
+        name="device-outage",
+        description="device 1 fails and recovers; survivors absorb its work",
+    ),
+    "dram-storm": FaultPlan(
+        events=(
+            FaultEvent(cycle=1_000, kind="dram_spike", target=-1,
+                       duration=6_000, extra_latency=200),
+            FaultEvent(cycle=10_000, kind="dram_spike", target=0,
+                       duration=4_000, extra_latency=400),
+        ),
+        name="dram-storm",
+        description="two overlapping DRAM latency spikes",
+    ),
+    "tenant-churn": FaultPlan(
+        events=(
+            FaultEvent(cycle=2_500, kind="stream_kill", target=1, duration=5_000),
+            FaultEvent(cycle=14_000, kind="stream_kill", target=0, duration=6_000),
+        ),
+        name="tenant-churn",
+        description="tenants killed and restarted mid-run",
+    ),
+    "chaos-monkey": generate_fault_plan(seed=2019, name="chaos-monkey"),
+}
+
+FAULT_PLAN_NAMES: tuple[str, ...] = tuple(FAULT_PLANS)
+
+
+def fault_plan_by_name(name: str) -> FaultPlan:
+    """Look up a registered fault plan by name (case-insensitive)."""
+    for known, plan in FAULT_PLANS.items():
+        if known.lower() == name.lower():
+            return plan
+    raise KeyError(
+        f"unknown fault plan {name!r}; known plans: {', '.join(FAULT_PLAN_NAMES)}"
+    )

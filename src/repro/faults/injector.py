@@ -1,0 +1,322 @@
+"""Turning a :class:`~repro.faults.config.FaultPlan` into scheduled events.
+
+The :class:`FaultInjector` is built by
+:class:`~repro.session.SimulationSession` when a fault plan is supplied.
+At construction it validates the plan against the assembled system (a
+device fault needs a multi-device topology, a stream kill needs a serving
+run with that many tenants) and schedules every event -- the strike and,
+for transient faults, the recovery -- on the simulator's own event queue.
+Everything downstream is ordinary deterministic discrete-event execution:
+same plan, same system, same counters, every time.
+
+Injection surfaces:
+
+* fabric links get a :class:`LinkFaultState` (one extra ``None``-test on
+  the :meth:`~repro.memory.interconnect.Link.send` path) that stalls
+  sends during an outage and adds latency during a degrade;
+* DRAM banks get a :class:`DramFaultState` (one ``None``-test in the
+  bank scheduler) that slows every access during a spike;
+* the :class:`~repro.gpu.gpu.Gpu` stream scheduler provides
+  ``fail_device``/``recover_device`` (cordon + evacuate + re-dispatch)
+  and ``kill_stream``/``restart_stream`` (tenant churn);
+* the hierarchy provides ``evacuate_device``/``evacuate_stream`` (the
+  dirty-line flushes that make degradation *graceful* -- no data is ever
+  lost).
+
+Resilience accounting: the injector tracks the union of intervals during
+which at least one fault is active and records it as
+``faults.degraded_cycles`` (availability = 1 - degraded/total, surfaced
+by :class:`~repro.stats.report.RunReport`).  The session calls
+:meth:`finalize` the moment the workload completes, which closes any
+still-open degraded interval and disarms events scheduled past the end
+of the run -- so availability is always measured over the run itself.
+All ``faults.*`` counters are written only when an event actually fires,
+which is what keeps the empty plan counter-for-counter identical to the
+no-fault path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.config import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import Simulator
+    from repro.gpu.gpu import Gpu
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.stats import StatsCollector
+
+__all__ = ["FaultInjector", "LinkFaultState", "DramFaultState"]
+
+
+class LinkFaultState:
+    """Mutable fault condition of one fabric link.
+
+    Installed lazily by the injector on the links a plan touches; links
+    of healthy runs keep ``_fault is None`` and their send path is
+    byte-for-byte the historical one.
+    """
+
+    __slots__ = ("extra_latency", "down_until", "_c_stall", "_c_stalled", "_c_degraded")
+
+    def __init__(self, stats: "StatsCollector") -> None:
+        #: added cycles per crossing while a degrade is active
+        self.extra_latency = 0
+        #: no transfer is granted before this cycle (outage)
+        self.down_until = -1
+        self._c_stall = stats.counter("faults.link_stall_cycles")
+        self._c_stalled = stats.counter("faults.link_stalled_requests")
+        self._c_degraded = stats.counter("faults.link_degraded_requests")
+
+    def apply(self, now: int, latency: int) -> tuple[int, int]:
+        """Fold the fault condition into one send's (start, latency)."""
+        if self.down_until > now:
+            self._c_stall.add(self.down_until - now)
+            self._c_stalled.add()
+            now = self.down_until
+        extra = self.extra_latency
+        if extra:
+            latency += extra
+            self._c_degraded.add()
+        return now, latency
+
+
+class DramFaultState:
+    """Mutable fault condition of one DRAM bank (a latency spike)."""
+
+    __slots__ = ("extra_latency", "_c_slowed")
+
+    def __init__(self, stats: "StatsCollector") -> None:
+        self.extra_latency = 0
+        self._c_slowed = stats.counter("faults.dram_slowed_accesses")
+
+    def apply(self) -> int:
+        """Extra service cycles for one access (0 when the spike lifted)."""
+        extra = self.extra_latency
+        if extra:
+            self._c_slowed.add()
+        return extra
+
+
+class FaultInjector:
+    """Schedules a fault plan's events against one assembled session."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sim: "Simulator",
+        stats: "StatsCollector",
+        gpu: "Gpu",
+        hierarchy: "MemoryHierarchy",
+        num_streams: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.sim = sim
+        self.stats = stats
+        self.gpu = gpu
+        self.hierarchy = hierarchy
+        self.num_streams = num_streams
+        self._completed = False
+        #: count of concurrently active faults; the union of active
+        #: intervals becomes faults.degraded_cycles
+        self._active = 0
+        self._degraded_since = 0
+        self._validate()
+        for event in plan.events:
+            sim.schedule_at(event.cycle, lambda e=event: self._strike(e))
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        plan = self.plan
+        num_devices = self.hierarchy.num_devices
+        needed_devices = plan.requires_devices()
+        if needed_devices > num_devices:
+            raise ValueError(
+                f"fault plan {plan.label!r} needs at least {needed_devices} devices "
+                f"(link/device faults), but the system has {num_devices}"
+            )
+        needed_streams = plan.requires_streams()
+        if needed_streams > 0 and self.num_streams == 0:
+            raise ValueError(
+                f"fault plan {plan.label!r} kills streams and needs a serving "
+                "session (streams=...)"
+            )
+        if needed_streams > self.num_streams > 0:
+            raise ValueError(
+                f"fault plan {plan.label!r} targets stream {needed_streams - 1}, "
+                f"but the serving mix has only {self.num_streams} streams"
+            )
+        permanent_failures = {
+            event.target
+            for event in plan.events
+            if event.kind == "device_fail" and event.duration == 0
+        }
+        if len(permanent_failures) >= num_devices > 1:
+            raise ValueError(
+                f"fault plan {plan.label!r} permanently fails all {num_devices} "
+                "devices; at least one must survive to absorb the work"
+            )
+
+    # ------------------------------------------------------------------
+    # degraded-interval accounting
+    # ------------------------------------------------------------------
+    def _activate(self) -> None:
+        if self._active == 0:
+            self._degraded_since = self.sim.now
+        self._active += 1
+
+    def _deactivate(self) -> None:
+        if self._completed:
+            return  # finalize() already closed the interval
+        self._active -= 1
+        if self._active == 0:
+            self.stats.add("faults.degraded_cycles", self.sim.now - self._degraded_since)
+
+    def finalize(self) -> None:
+        """Close the books at workload completion.
+
+        Called by the session the moment the run completes: any open
+        degraded interval is charged up to *now* (so availability is
+        measured over the run, and a permanent fault degrades exactly the
+        cycles it overlapped), and later strikes/recoveries still sitting
+        in the event queue become no-ops.
+        """
+        if self._completed:
+            return
+        self._completed = True
+        if self._active > 0:
+            self.stats.add("faults.degraded_cycles", self.sim.now - self._degraded_since)
+            self._active = 0
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def _strike(self, event: FaultEvent) -> None:
+        if self._completed:
+            return  # the workload finished before this fault struck
+        handler = {
+            "link_degrade": self._strike_link_degrade,
+            "link_outage": self._strike_link_outage,
+            "device_fail": self._strike_device_fail,
+            "dram_spike": self._strike_dram_spike,
+            "stream_kill": self._strike_stream_kill,
+        }[event.kind]
+        if handler(event):
+            self.stats.add("faults.injected")
+        else:
+            # struck a component with nothing to break (e.g. killing an
+            # already-finished stream): recorded, but not a degradation
+            self.stats.add("faults.noop_events")
+
+    # -- links ---------------------------------------------------------
+    def _link_faults(self, device: int) -> list[LinkFaultState]:
+        """Fault states of every fabric link touching ``device`` (all
+        links for ``device == -1``), installing them on first use."""
+        links = self.hierarchy.fabric_links(None if device < 0 else device)
+        states = []
+        for link in links:
+            if link._fault is None:
+                link._fault = LinkFaultState(self.stats)
+            states.append(link._fault)
+        return states
+
+    def _strike_link_degrade(self, event: FaultEvent) -> bool:
+        states = self._link_faults(event.target)
+        for state in states:
+            state.extra_latency += event.extra_latency
+        self._activate()
+        if event.duration:
+            def lift() -> None:
+                for state in states:
+                    state.extra_latency -= event.extra_latency
+                self._deactivate()
+
+            self.sim.schedule_at(event.cycle + event.duration, lift)
+        return True
+
+    def _strike_link_outage(self, event: FaultEvent) -> bool:
+        until = self.sim.now + event.duration
+        for state in self._link_faults(event.target):
+            state.down_until = max(state.down_until, until)
+        self._activate()
+        self.sim.schedule_at(until, self._deactivate)
+        return True
+
+    # -- DRAM ----------------------------------------------------------
+    def _dram_faults(self, device: int) -> list[DramFaultState]:
+        banks = self.hierarchy.dram_banks(None if device < 0 else device)
+        states = []
+        for bank in banks:
+            if bank.fault is None:
+                bank.fault = DramFaultState(self.stats)
+            states.append(bank.fault)
+        return states
+
+    def _strike_dram_spike(self, event: FaultEvent) -> bool:
+        states = self._dram_faults(event.target)
+        for state in states:
+            state.extra_latency += event.extra_latency
+        self._activate()
+        if event.duration:
+            def lift() -> None:
+                for state in states:
+                    state.extra_latency -= event.extra_latency
+                self._deactivate()
+
+            self.sim.schedule_at(event.cycle + event.duration, lift)
+        return True
+
+    # -- devices -------------------------------------------------------
+    def _strike_device_fail(self, event: FaultEvent) -> bool:
+        device = event.target
+        evacuated = self.gpu.fail_device(device)
+        if evacuated < 0:
+            return False  # already failed: nothing new to break
+        self.stats.add("faults.device_failures")
+        if evacuated:
+            self.stats.add("faults.evacuated_wavefronts", evacuated)
+        # the failed device's fabric interface limps along in a degraded
+        # recovery mode until the device returns
+        remote_latency = self.hierarchy.topology.remote_latency_cycles
+        states = self._link_faults(device)
+        for state in states:
+            state.extra_latency += remote_latency
+
+        def flushed() -> None:
+            # the slice's dirty lines are safe in its (surviving) DRAM
+            # partition; survivors' remote requests proceed normally
+            self.stats.add("faults.evacuation_flushes")
+
+        self.hierarchy.evacuate_device(device, flushed)
+        self._activate()
+        if event.duration:
+            def recover() -> None:
+                if self._completed:
+                    return
+                self.gpu.recover_device(device)
+                for state in states:
+                    state.extra_latency -= remote_latency
+                self.stats.add("faults.device_recoveries")
+                self._deactivate()
+
+            self.sim.schedule_at(event.cycle + event.duration, recover)
+        return True
+
+    # -- streams -------------------------------------------------------
+    def _strike_stream_kill(self, event: FaultEvent) -> bool:
+        stream_id = event.target
+        if not self.gpu.kill_stream(stream_id, will_restart=event.duration > 0):
+            return False  # the tenant already finished (or is already dead)
+        self.stats.add("faults.stream_kills")
+        self._activate()
+        if event.duration:
+            def restart() -> None:
+                if self._completed:
+                    return
+                if self.gpu.restart_stream(stream_id):
+                    self.stats.add("faults.stream_restarts")
+                self._deactivate()
+
+            self.sim.schedule_at(event.cycle + event.duration, restart)
+        return True

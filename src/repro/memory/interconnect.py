@@ -44,6 +44,10 @@ class Link:
         self._c_contention_cycles = stats.counter(f"link.{name}.contention_cycles")
         self._queue = sim.queue
         self._schedule_at = sim.queue.schedule_at
+        #: fault condition installed by the fault injector (a
+        #: :class:`~repro.faults.injector.LinkFaultState`); ``None`` --
+        #: every healthy run -- keeps the send path byte-identical
+        self._fault = None
 
     def send(
         self,
@@ -52,9 +56,15 @@ class Link:
     ) -> None:
         """Deliver ``request`` to the far side after latency + any bandwidth wait."""
         now = self._queue.now
+        latency = self.latency
+        fault = self._fault
+        if fault is not None:
+            # outage: the send stalls until the link is back; degrade:
+            # extra per-crossing latency (both counted by the fault state)
+            now, latency = fault.apply(now, latency)
         grant = self.bandwidth.grant(now)
         self._c_transfers.add()
         wait = grant - now
         if wait > 0:
             self._c_contention_cycles.add(wait)
-        self._schedule_at(grant + self.latency, lambda: deliver(request))
+        self._schedule_at(grant + latency, lambda: deliver(request))

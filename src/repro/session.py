@@ -34,6 +34,8 @@ from repro.core.policies import PolicySpec, policy_by_name
 from repro.core.policy_engine import PolicyEngine
 from repro.core.reuse_predictor import PredictorConfig
 from repro.engine import Simulator
+from repro.faults.config import FaultPlan
+from repro.faults.injector import FaultInjector
 from repro.gpu.gpu import Gpu
 from repro.memory.address_mapping import AddressMapping, DeviceInterleave
 from repro.memory.hierarchy import MemoryHierarchy
@@ -86,6 +88,12 @@ class SimulationSession:
             no workload argument.  A single-entry stream list is
             bit-identical to the plain run of that workload (modulo the
             extra ``stream0.*`` counters).
+        faults: when given, a :class:`~repro.faults.config.FaultPlan`
+            whose events (link degradation/outage, device failure with
+            evacuation, DRAM spikes, tenant kill/restart) are injected
+            deterministically during the run; the report then carries
+            ``faults.*`` resilience counters.  The empty plan injects
+            nothing and is bit-identical to ``faults=None``.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class SimulationSession:
         adaptive: Optional[AdaptiveConfig] = None,
         topology: Optional[TopologyConfig] = None,
         streams: Optional[StreamsSpec] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if policy is None and adaptive is None:
             raise ValueError("a session needs a policy or an adaptive configuration")
@@ -212,6 +221,21 @@ class SimulationSession:
             )
             self.hierarchy.add_kernel_boundary_hook(self.controller.on_kernel_boundary)
 
+        self.faults = faults
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None:
+            # validates the plan against the assembled system and schedules
+            # every event; the empty plan schedules nothing and is
+            # bit-identical to faults=None (pinned by the equivalence tests)
+            self.injector = FaultInjector(
+                faults,
+                self.sim,
+                self.stats,
+                self.gpu,
+                self.hierarchy,
+                num_streams=len(self.streams) if self.streams is not None else 0,
+            )
+
     # ------------------------------------------------------------------
     def run(self, workload: Workload | WorkloadTrace | None = None) -> RunReport:
         """Execute the workload (or the serving streams) and return the report."""
@@ -233,6 +257,8 @@ class SimulationSession:
 
         def on_complete() -> None:
             finished.append(self.sim.now)
+            if self.injector is not None:
+                self.injector.finalize()
 
         self.gpu.run_workload(trace, on_complete=on_complete)
         if self.controller is not None:
@@ -273,6 +299,8 @@ class SimulationSession:
 
         def on_complete() -> None:
             finished.append(self.sim.now)
+            if self.injector is not None:
+                self.injector.finalize()
 
         self.gpu.run_streams(traces, self.streams, on_complete=on_complete)
         if self.controller is not None:
@@ -302,6 +330,7 @@ def simulate(
     adaptive: Optional[AdaptiveConfig] = None,
     topology: Optional[TopologyConfig] = None,
     streams: Optional[StreamsSpec] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -330,5 +359,6 @@ def simulate(
         adaptive=adaptive,
         topology=topology,
         streams=streams,
+        faults=faults,
     )
     return session.run(workload)

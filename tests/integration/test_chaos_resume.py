@@ -1,0 +1,315 @@
+"""Chaos tests for the sweep execution layer itself.
+
+The fault injector chaos-tests the *simulated* fleet; this module
+chaos-tests the *real* execution layer that runs the sweeps:
+
+* a sweep SIGKILLed mid-flight resumes from its checkpoint with zero
+  re-simulation of the cells that had finished (the store plus the
+  checkpoint together are crash-safe);
+* a pool worker SIGKILLed mid-job poisons only one pool generation: the
+  retry logic re-runs the unfinished jobs on a fresh pool and the batch
+  completes with no failure records;
+* a hung worker trips the batch timeout, is abandoned, and the retry
+  completes the job;
+* a writer crashing between the temp-file write and the atomic rename
+  never leaves a torn or half-visible store entry;
+* torn or alien checkpoint files are ignored, never trusted.
+
+The worker-kill tests fork the test process, so they are skipped on
+platforms whose multiprocessing start method is not ``fork``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.policies import STATIC_POLICIES
+from repro.experiments import jobs as jobs_module
+from repro.experiments.jobs import (
+    JobSpec,
+    ProcessPoolBackend,
+    SweepCheckpoint,
+    SweepExecutor,
+)
+from repro.experiments.store import ResultStore
+from repro.stats.report import RunReport
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+TINY = scaled_config(2)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork",
+    reason="worker-kill chaos needs the fork start method",
+)
+
+
+def sweep_jobs() -> list[JobSpec]:
+    """Six distinct cells, each heavy enough to leave a kill window."""
+    return [
+        JobSpec(workload=workload, policy=policy, scale=scale, config=TINY)
+        for workload, scale in (("DGEMM", 0.5), ("FwLSTM", 0.1))
+        for policy in STATIC_POLICIES
+    ]
+
+
+#: the child re-runs exactly the parent's sweep, then exits 0
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.config import scaled_config
+from repro.core.policies import STATIC_POLICIES
+from repro.experiments.jobs import JobSpec, SweepCheckpoint, SweepExecutor
+from repro.experiments.store import ResultStore
+
+TINY = scaled_config(2)
+jobs = [
+    JobSpec(workload=workload, policy=policy, scale=scale, config=TINY)
+    for workload, scale in (("DGEMM", 0.5), ("FwLSTM", 0.1))
+    for policy in STATIC_POLICIES
+]
+checkpoint = SweepCheckpoint({ckpt!r}, [job.fingerprint() for job in jobs])
+executor = SweepExecutor(store=ResultStore({store!r}))
+executor.run(jobs, checkpoint=checkpoint)
+"""
+
+
+class TestSigkillResume:
+    def test_sigkilled_sweep_resumes_without_resimulating_warm_cells(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        ckpt = str(tmp_path / "sweep.ckpt")
+        script = _CHILD_SCRIPT.format(src=str(SRC), ckpt=ckpt, store=store_dir)
+        child = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            # wait for the first completion, then kill without warning
+            deadline = time.time() + 60.0
+            done_before = 0
+            while time.time() < deadline:
+                if child.poll() is not None:
+                    break  # finished everything before we could kill it
+                try:
+                    blob = json.loads(Path(ckpt).read_text())
+                    done_before = len(blob["done"])
+                except (OSError, ValueError, KeyError):
+                    done_before = 0
+                if done_before >= 1:
+                    break
+                time.sleep(0.02)
+            assert done_before >= 1, "child never completed a single cell"
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - cleanup on failure
+                child.kill()
+                child.wait()
+
+        # the checkpoint on disk is valid JSON despite the kill (atomic
+        # writes) and the resumed run loads every finished cell
+        jobs = sweep_jobs()
+        keys = [job.fingerprint() for job in jobs]
+        checkpoint = SweepCheckpoint(ckpt, keys)
+        assert checkpoint.resumed
+        done_before = len(checkpoint.done)
+        assert done_before >= 1
+
+        executor = SweepExecutor(store=ResultStore(store_dir))
+        reports = executor.run(jobs, checkpoint=checkpoint)
+        assert len(reports) == len(jobs)
+        # zero checkpointed (warm) cells re-simulate; the store may hold
+        # one extra cell if the kill landed between a save and its
+        # checkpoint mark, and that one is a free store hit too
+        assert executor.stats.runs_loaded >= done_before, (
+            "every checkpointed cell must come back as a store hit"
+        )
+        assert (
+            executor.stats.runs_simulated
+            == len(jobs) - executor.stats.runs_loaded
+            <= len(jobs) - done_before
+        ), "the resumed sweep must simulate only the missing cells"
+        assert checkpoint.complete
+        assert json.loads(Path(ckpt).read_text())["completed"] is True
+
+    def test_completed_checkpoint_makes_rerun_free(self, tmp_path):
+        jobs = sweep_jobs()[:2]
+        keys = [job.fingerprint() for job in jobs]
+        ckpt = str(tmp_path / "sweep.ckpt")
+        store = ResultStore(tmp_path / "store")
+        first = SweepExecutor(store=store)
+        first.run(jobs, checkpoint=SweepCheckpoint(ckpt, keys))
+
+        resumed = SweepCheckpoint(ckpt, keys)
+        assert resumed.resumed and resumed.complete and resumed.remaining == 0
+        second = SweepExecutor(store=store)
+        second.run(jobs, checkpoint=resumed)
+        assert second.stats.runs_simulated == 0
+
+
+def _suicidal_payload(job):
+    """First worker to run without the sentinel dies mid-job (SIGKILL)."""
+    sentinel = Path(os.environ["CHAOS_SENTINEL"])
+    if not sentinel.exists():
+        sentinel.write_text("dead")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _real_payload(job)
+
+
+_real_payload = jobs_module._execute_job_payload
+
+
+def _hanging_payload(job):
+    """The first worker generation hangs; later generations run clean."""
+    sentinel = Path(os.environ["CHAOS_SENTINEL"])
+    if not sentinel.exists():
+        sentinel.write_text("hung")
+        time.sleep(3.0)
+    return _real_payload(job)
+
+
+@fork_only
+class TestWorkerChaos:
+    def test_sigkilled_worker_is_retried_on_a_fresh_pool(
+        self, tmp_path, monkeypatch
+    ):
+        """One murdered worker poisons one pool generation, not the sweep."""
+        monkeypatch.setenv("CHAOS_SENTINEL", str(tmp_path / "sentinel"))
+        monkeypatch.setattr(jobs_module, "_execute_job_payload", _suicidal_payload)
+        jobs = [
+            JobSpec(workload="FwSoft", policy=policy, scale=0.1, config=TINY)
+            for policy in STATIC_POLICIES
+        ]
+        backend = ProcessPoolBackend(max_workers=2, retries=2, retry_backoff=0.0)
+        reports = backend.run_jobs(jobs)
+        assert len(reports) == len(jobs)
+        assert backend.failures == []
+        # bit-identical to an undisturbed run despite the murder
+        expected = [_real_payload(job) for job in jobs]
+        assert [r.to_dict() for r in reports] == expected
+
+    def test_sigkilled_worker_without_retries_is_a_recorded_failure(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("CHAOS_SENTINEL", str(tmp_path / "sentinel"))
+        monkeypatch.setattr(jobs_module, "_execute_job_payload", _suicidal_payload)
+        jobs = [
+            JobSpec(workload="FwSoft", policy=policy, scale=0.1, config=TINY)
+            for policy in STATIC_POLICIES
+        ]
+        backend = ProcessPoolBackend(max_workers=2, retries=0)
+        with pytest.raises(BaseException):
+            backend.run_jobs(jobs)
+        assert backend.failures, "a dead worker must leave failure records"
+        for failure in backend.failures:
+            assert failure.attempts == 1
+            assert failure.error
+
+    def test_hung_worker_trips_the_timeout_and_the_retry_completes(
+        self, tmp_path, monkeypatch
+    ):
+        sentinel = tmp_path / "sentinel"
+        monkeypatch.setenv("CHAOS_SENTINEL", str(sentinel))
+        monkeypatch.setattr(jobs_module, "_execute_job_payload", _hanging_payload)
+        jobs = [
+            JobSpec(workload="FwSoft", policy=policy, scale=0.1, config=TINY)
+            for policy in STATIC_POLICIES[:2]
+        ]
+        backend = ProcessPoolBackend(
+            max_workers=2, timeout=0.75, retries=1, retry_backoff=0.0
+        )
+        reports = backend.run_jobs(jobs)
+        assert len(reports) == len(jobs)
+        assert backend.failures == []
+
+    def test_hung_worker_without_retries_reports_a_timeout(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("CHAOS_SENTINEL", str(tmp_path / "sentinel"))
+        monkeypatch.setattr(jobs_module, "_execute_job_payload", _hanging_payload)
+        jobs = [
+            JobSpec(workload="FwSoft", policy=policy, scale=0.1, config=TINY)
+            for policy in STATIC_POLICIES[:2]
+        ]
+        backend = ProcessPoolBackend(max_workers=2, timeout=0.5, retries=0)
+        with pytest.raises(BaseException):
+            backend.run_jobs(jobs)
+        assert backend.failures
+        assert any("did not finish" in failure.error for failure in backend.failures)
+
+
+class TestAtomicStoreWrites:
+    def test_crash_between_write_and_rename_leaves_no_torn_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer killed after the temp write but before the rename must
+        leave the store exactly as it was: no entry, no orphan."""
+        store = ResultStore(tmp_path)
+        report = RunReport(workload="w", policy="p", cycles=123, counters={"a": 1})
+        key = "deadbeef"
+
+        real_replace = os.replace
+
+        def killed_mid_write(src, dst):
+            raise OSError("simulated SIGKILL between write and rename")
+
+        monkeypatch.setattr(os, "replace", killed_mid_write)
+        with pytest.raises(OSError, match="simulated"):
+            store.save(key, report)
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        assert store.load(key) is None
+        assert list(store.keys()) == []
+        assert store.stats()["stale_tmp"] == 0, "failed writes must clean up"
+        # the store still works after the crash
+        store.save(key, report)
+        loaded = store.load(key)
+        assert loaded is not None and loaded.to_dict() == report.to_dict()
+
+    def test_orphaned_tmp_files_never_surface_as_entries(self, tmp_path):
+        """A hard kill can orphan a temp file; it must stay invisible."""
+        store = ResultStore(tmp_path)
+        (tmp_path / ".tmp-orphan.json").write_text("{torn", encoding="utf-8")
+        assert list(store.keys()) == []
+        assert store.stats()["entries"] == 0
+        assert store.stats()["stale_tmp"] == 1
+
+
+class TestCheckpointRobustness:
+    def test_torn_checkpoint_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_text("{torn json", encoding="utf-8")
+        checkpoint = SweepCheckpoint(path, ["k1", "k2"])
+        assert not checkpoint.resumed and checkpoint.done == set()
+
+    def test_checkpoint_of_a_different_sweep_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        first = SweepCheckpoint(path, ["a1", "a2"])
+        first.mark_done("a1")
+        second = SweepCheckpoint(path, ["b1", "b2"])
+        assert not second.resumed and second.done == set()
+
+    def test_checkpoint_drops_keys_the_new_sweep_does_not_have(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        checkpoint = SweepCheckpoint(path, ["k1", "k2"])
+        checkpoint.mark_done("k1")
+        blob = json.loads(path.read_text())
+        blob["done"].append("k1")  # duplicate entries must not double-count
+        path.write_text(json.dumps(blob), encoding="utf-8")
+        resumed = SweepCheckpoint(path, ["k1", "k2"])
+        assert resumed.resumed and resumed.done == {"k1"}
+        assert resumed.remaining == 1
+
+    def test_checkpoint_write_is_atomic_and_fsynced(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "sweep.ckpt", ["k1"])
+        checkpoint.mark_done("k1")
+        blob = json.loads((tmp_path / "sweep.ckpt").read_text())
+        assert blob["completed"] is True and blob["done"] == ["k1"]
+        assert not list(tmp_path.glob("*.tmp")), "no temp files left behind"

@@ -186,3 +186,44 @@ class TestCli:
     def test_unknown_workload_is_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             cli.main(["run", "--workload", "Nope", "--policy", "CacheR"])
+
+    def test_list_json_includes_fault_plans(self, capsys):
+        assert cli.main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fault_plans" in payload
+        assert "device-outage" in payload["fault_plans"]
+        assert payload["fault_plans"]["tenant-churn"]["events"]
+
+    def test_faults_command_writes_artifact_and_warm_store_is_free(
+        self, capsys, tmp_path
+    ):
+        """The chaos sweep is cacheable: a warm repeat simulates nothing."""
+        out = str(tmp_path / "resilience_figure.json")
+        args = [
+            "--scale", "0.1", "--cus", "2", "faults",
+            "--mix", "mha+fwlstm", "--policies", "CacheRW",
+            "--plans", "tenant-churn",
+            "--cache-dir", str(tmp_path / "store"),
+            "--json-out", out,
+            "--checkpoint", str(tmp_path / "sweep.ckpt"),
+        ]
+        assert cli.main(args) == 0
+        captured = capsys.readouterr()
+        assert "simulated=2" in captured.err  # baseline + churn cell
+        blob = json.loads(open(out, encoding="utf-8").read())
+        assert blob["schema"] == 1
+        cells = blob["figure_resilience"]["mha+fwlstm"]
+        assert cells["CacheRW@tenant-churn"]["availability"] < 1.0
+        assert cells["CacheRW@none"]["availability"] == 1.0
+
+        assert cli.main(args) == 0
+        captured = capsys.readouterr()
+        assert "simulated=0" in captured.err and "loaded=2" in captured.err
+
+    def test_faults_device_plan_on_single_topology_exits_2(self, capsys):
+        code = cli.main(
+            ["faults", "--topology", "single", "--plans", "device-outage",
+             "--no-cache"]
+        )
+        assert code == 2
+        assert "devices" in capsys.readouterr().err

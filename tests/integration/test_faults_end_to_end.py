@@ -1,0 +1,251 @@
+"""End-to-end fault injection: determinism, degradation, recovery.
+
+The resilience claims the chaos study rests on:
+
+* a faulted run is exactly as deterministic as a healthy one -- same plan,
+  same seed, bit-identical report, across repeats and across backends;
+* every fault kind actually degrades the run it targets (injected events,
+  degraded cycles, availability < 1) and the system completes anyway;
+* recovery semantics hold: killed tenants restart and finish, permanently
+  killed tenants are retired without deadlocking the mix, failed devices
+  evacuate onto survivors;
+* plans that need more hardware than the system has are rejected up
+  front, not discovered as a hang;
+* backends record structured failures instead of silently swallowing
+  dead workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.policies import CACHE_R, CACHE_RW
+from repro.experiments.jobs import (
+    JobSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepExecutor,
+)
+from repro.faults import (
+    FAULT_PLANS,
+    FaultEvent,
+    FaultPlan,
+    fault_plan_by_name,
+    generate_fault_plan,
+)
+from repro.session import simulate
+from repro.streams import StreamConfig
+from repro.topology import topology_by_name
+from repro.workloads.registry import get_workload
+
+TINY = scaled_config(2)
+DUAL = topology_by_name("dual-chiplet")
+#: a two-tenant mix small enough for per-test simulation
+MIX = (
+    StreamConfig(workload="MHA", scale=0.15),
+    StreamConfig(workload="FwLSTM", scale=0.15, launch_cycle=200),
+)
+
+
+def run_mix(faults=None, policy=CACHE_RW, topology=DUAL):
+    return simulate(
+        policy=policy, config=TINY, topology=topology, streams=MIX, faults=faults
+    )
+
+
+class TestFaultDeterminism:
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        healthy = run_mix(faults=None)
+        pinned = run_mix(faults=FaultPlan())
+        assert pinned.to_dict() == healthy.to_dict()
+
+    @pytest.mark.parametrize("plan_name", sorted(set(FAULT_PLANS) - {"none"}))
+    def test_faulted_runs_repeat_bit_identically(self, plan_name):
+        plan = fault_plan_by_name(plan_name)
+        first = run_mix(faults=plan)
+        second = run_mix(faults=plan)
+        assert first.to_dict() == second.to_dict()
+
+    def test_generated_plan_replays_bit_identically(self):
+        plan = generate_fault_plan(7, num_devices=2, num_streams=2)
+        assert run_mix(faults=plan).to_dict() == run_mix(faults=plan).to_dict()
+
+    def test_serial_and_pool_backends_agree_on_faulted_jobs(self):
+        jobs = [
+            JobSpec(
+                workload="chaos-mix",
+                policy=CACHE_RW,
+                config=TINY,
+                streams=MIX,
+                topology=DUAL,
+                faults=fault_plan_by_name(name),
+            )
+            for name in ("none", "tenant-churn", "device-outage", "dram-storm")
+        ]
+        serial = SerialBackend().run_jobs(jobs)
+        pooled = ProcessPoolBackend(max_workers=2).run_jobs(jobs)
+        assert [r.to_dict() for r in pooled] == [r.to_dict() for r in serial]
+
+    def test_empty_plan_shares_the_job_fingerprint_of_no_plan(self):
+        base = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.1, config=TINY)
+        pinned = JobSpec(
+            workload="FwSoft", policy=CACHE_R, scale=0.1, config=TINY,
+            faults=FaultPlan(),
+        )
+        chaotic = JobSpec(
+            workload="FwSoft", policy=CACHE_R, scale=0.1, config=TINY,
+            faults=FAULT_PLANS["dram-storm"],
+        )
+        assert pinned.fingerprint() == base.fingerprint()
+        assert chaotic.fingerprint() != base.fingerprint()
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize(
+        "plan_name", ["link-brownout", "device-outage", "dram-storm", "tenant-churn"]
+    )
+    def test_every_registered_plan_degrades_and_completes(self, plan_name):
+        healthy = run_mix()
+        faulted = run_mix(faults=fault_plan_by_name(plan_name))
+        assert faulted.faults_injected > 0
+        assert faulted.degraded_cycles > 0
+        assert 0.0 <= faulted.availability < 1.0
+        # graceful: degraded, not dead -- all kernels still complete
+        assert faulted.get("gpu.kernels_completed") >= healthy.get(
+            "gpu.kernels_completed"
+        )
+
+    def test_healthy_run_reports_full_availability_and_no_fault_counters(self):
+        healthy = run_mix()
+        assert healthy.availability == 1.0
+        assert healthy.faults_injected == 0
+        assert not any(key.startswith("faults.") for key in healthy.counters)
+
+    def test_dram_spike_slows_a_single_device_run(self):
+        workload = get_workload("FwSoft", scale=0.1)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(cycle=200, kind="dram_spike", duration=6_000,
+                           extra_latency=300),
+            )
+        )
+        healthy = simulate(workload, CACHE_R, config=TINY)
+        spiked = simulate(workload, CACHE_R, config=TINY, faults=plan)
+        assert spiked.cycles > healthy.cycles
+        assert spiked.get("faults.dram_slowed_accesses") > 0
+
+    def test_device_failure_reroutes_onto_survivors(self):
+        # short enough an outage that the device recovers before the run
+        # ends (the registered device-outage plan outlives this tiny mix,
+        # so its recovery event lands after completion and no-ops)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(cycle=3_000, kind="device_fail", target=1, duration=4_000),
+            )
+        )
+        report = run_mix(faults=plan)
+        assert report.get("faults.device_failures") == 1
+        assert report.get("faults.device_recoveries") == 1
+        assert report.get("faults.rerouted_wavefronts") > 0
+
+    def test_killed_tenant_restarts_and_recovers(self):
+        report = run_mix(faults=fault_plan_by_name("tenant-churn"))
+        assert report.get("stream1.kills") == 1
+        assert report.get("stream1.restarts") == 1
+        assert report.stream_recovery_cycles(1) > 0
+        assert report.recovery_cycles >= report.stream_recovery_cycles(1)
+        # the churned tenant still finishes its kernels
+        assert report.get("stream1.kernels_completed") > 0
+
+    def test_permanent_kill_retires_the_tenant_without_deadlock(self):
+        plan = FaultPlan(
+            events=(FaultEvent(cycle=2_500, kind="stream_kill", target=1, duration=0),)
+        )
+        report = run_mix(faults=plan)
+        assert report.get("stream1.kills") == 1
+        assert report.get("stream1.lost") == 1
+        assert report.get("stream1.restarts", 0) == 0
+        # the surviving tenant still completes
+        assert report.get("stream0.kernels_completed") > 0
+
+
+class TestPlanValidation:
+    def test_device_plan_rejected_on_single_device_system(self):
+        workload = get_workload("FwSoft", scale=0.1)
+        with pytest.raises(ValueError, match="devices"):
+            simulate(
+                workload, CACHE_R, config=TINY,
+                faults=fault_plan_by_name("device-outage"),
+            )
+
+    def test_stream_plan_rejected_without_enough_streams(self):
+        workload = get_workload("FwSoft", scale=0.1)
+        with pytest.raises(ValueError, match="stream"):
+            simulate(
+                workload, CACHE_R, config=TINY,
+                faults=fault_plan_by_name("tenant-churn"),
+            )
+
+    def test_permanent_outage_event_is_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(cycle=0, kind="link_outage", duration=0)
+
+
+class TestBackendFailureRecords:
+    def test_serial_backend_records_the_failure_it_raises(self):
+        backend = SerialBackend()
+        bad = JobSpec(workload="NotAWorkload", policy=CACHE_R, scale=0.1, config=TINY)
+        with pytest.raises(KeyError):
+            backend.run_jobs([bad])
+        (failure,) = backend.failures
+        assert failure.index == 0
+        assert failure.attempts == 1
+        assert "NotAWorkload" in failure.error
+        assert failure.fingerprint == bad.fingerprint()
+        assert failure.as_dict()["job"]["workload"] == "NotAWorkload"
+
+    def test_pool_backend_records_failures_and_keeps_survivors(self, tmp_path):
+        good = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.1, config=TINY)
+        other = JobSpec(workload="FwAct", policy=CACHE_R, scale=0.1, config=TINY)
+        bad = JobSpec(workload="NotAWorkload", policy=CACHE_R, scale=0.1, config=TINY)
+        backend = ProcessPoolBackend(max_workers=2)
+        finished: dict[int, object] = {}
+        with pytest.raises(KeyError):
+            backend.run_jobs(
+                [good, bad, other],
+                on_result=lambda index, report: finished.setdefault(index, report),
+            )
+        (failure,) = backend.failures
+        assert failure.index == 1
+        assert "NotAWorkload" in failure.error
+        # the healthy jobs were delivered despite the dead one
+        assert set(finished) == {0, 2}
+
+    def test_pool_backend_retries_transient_failures(self):
+        # a deterministic failure exhausts the retry budget: attempts
+        # reflects every pool generation that tried the job
+        bad = JobSpec(workload="NotAWorkload", policy=CACHE_R, scale=0.1, config=TINY)
+        good = JobSpec(workload="FwSoft", policy=CACHE_R, scale=0.1, config=TINY)
+        backend = ProcessPoolBackend(max_workers=2, retries=2, retry_backoff=0.0)
+        with pytest.raises(KeyError):
+            backend.run_jobs([good, bad])
+        (failure,) = backend.failures
+        assert failure.attempts == 3
+
+    def test_executor_accounts_failures_in_stats(self):
+        executor = SweepExecutor(backend=SerialBackend())
+        bad = JobSpec(workload="NotAWorkload", policy=CACHE_R, scale=0.1, config=TINY)
+        with pytest.raises(KeyError):
+            executor.run([bad])
+        assert executor.stats.runs_failed == 1
+        (failure,) = executor.stats.failures
+        assert failure.fingerprint == bad.fingerprint()
+
+    def test_backend_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(timeout=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(retries=-1)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(retry_backoff=-0.1)

@@ -178,4 +178,10 @@ class TestRunnerMemo:
     def test_stats_keys(self):
         runner = make_runner()
         stats = runner.stats()
-        assert set(stats) == {"runs_simulated", "runs_loaded", "memo_hits", "cached_runs"}
+        assert set(stats) == {
+            "runs_simulated",
+            "runs_loaded",
+            "runs_failed",
+            "memo_hits",
+            "cached_runs",
+        }
