@@ -20,7 +20,10 @@ The package provides:
 * a deterministic fault-injection subsystem (:mod:`repro.faults`) that
   chaos-tests the simulated fleet -- link brownouts, device outages with
   stream evacuation, DRAM latency storms, tenant churn -- with graceful
-  degradation and resilience metrics (availability, recovery latency).
+  degradation and resilience metrics (availability, recovery latency);
+* an observability layer (:mod:`repro.telemetry`): cycle-accurate
+  Chrome/Perfetto trace-event timelines, windowed counter time-series
+  attached to run reports, and host-side simulator/sweep profiling.
 
 Quickstart::
 
@@ -78,6 +81,13 @@ from repro.faults import (
 )
 from repro.session import SimulationSession, simulate
 from repro.stats import PolicyComparison, RunReport
+from repro.telemetry import (
+    MetricsSampler,
+    SimProfiler,
+    TelemetryConfig,
+    TraceRecorder,
+    validate_trace,
+)
 from repro.streams import (
     MIX_NAMES,
     SERVING_MIXES,
@@ -160,6 +170,12 @@ __all__ = [
     "simulate",
     "RunReport",
     "PolicyComparison",
+    # telemetry / observability
+    "TelemetryConfig",
+    "TraceRecorder",
+    "MetricsSampler",
+    "SimProfiler",
+    "validate_trace",
     # workloads
     "Workload",
     "WorkloadTrace",

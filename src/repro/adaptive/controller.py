@@ -207,6 +207,9 @@ class DynamicPolicyController:
         self.history: list[tuple[int, str]] = [(0, engine.active_policy.name)]
         self._decisions_since_decay = 0
         self._stable_decisions = 0
+        #: optional telemetry TraceRecorder (one None-test per swap /
+        #: explore / commit -- controller decisions, never cache events)
+        self.trace = None
         if self.config.pinned:
             # nothing to learn: no leader overrides (engine construction)
             # and no cost recording either
@@ -277,6 +280,8 @@ class DynamicPolicyController:
         self._stable_decisions = 0
         self._decisions_since_decay = 0
         self._c_explorations.add()
+        if self.trace is not None:
+            self.trace.adaptive_event("explore")
 
     def _commit(self) -> None:
         """Close the duel: the whole cache obeys the winner, overhead-free."""
@@ -284,6 +289,8 @@ class DynamicPolicyController:
         self.monitor.enabled = False
         self._stable_decisions = 0
         self._c_commits.add()
+        if self.trace is not None:
+            self.trace.adaptive_event("commit")
 
     def _decide(self) -> None:
         """One duel evaluation: swap if a challenger clearly wins."""
@@ -319,6 +326,8 @@ class DynamicPolicyController:
         self._c_switches.add()
         self._stable_decisions = 0
         self.history.append((self.sim.now, self.engine.active_policy.name))
+        if self.trace is not None:
+            self.trace.policy_switch(self.engine.active_policy.name)
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,9 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 * ``faults``    -- run the resilience study: serving mixes under deterministic
   fault plans (link brownouts, device outages, DRAM storms, tenant churn),
   reporting slowdown + availability per cell.
+* ``trace``     -- record one fully instrumented run: a Chrome/Perfetto
+  trace timeline (``--out``), optional windowed counter metrics, and
+  host-side simulator profiling (always on; ``--telemetry-out``).
 * ``figure``    -- regenerate one of the paper's figures (4-13) as a text table.
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
 * ``cache``     -- persistent result-store lifecycle: ``stats``, ``clear``,
@@ -93,7 +96,9 @@ from repro.experiments.resilience import (
 )
 from repro.experiments.store import ResultStore, default_cache_dir
 from repro.faults import FAULT_PLAN_NAMES, FAULT_PLANS, fault_plan_by_name
-from repro.session import simulate
+from repro.ioutil import atomic_write_json
+from repro.session import SimulationSession, simulate
+from repro.telemetry import TelemetryConfig, validate_trace
 from repro.streams import MIX_NAMES, SERVING_MIXES, mix_by_name
 from repro.topology import TOPOLOGIES, TOPOLOGY_NAMES, TopologyConfig, topology_by_name
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
@@ -155,6 +160,38 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         default=argparse.SUPPRESS,
         help="disable the persistent result store",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        default=argparse.SUPPRESS,
+        metavar="FILE",
+        help="write executor telemetry (per-job wall times, worker "
+        "utilization, store hits, retries) as JSON",
+    )
+
+
+def _add_trace_options(parser: argparse.ArgumentParser, replay: bool = False) -> None:
+    """The per-run telemetry flags ``run``/``serve``/``faults`` share.
+
+    On the study commands (``replay=True``) the flags drive an inline
+    traced replay of the study's first runnable cell after the sweep
+    itself finishes -- sweep cells execute in worker processes (and may be
+    served from the store), so the trace comes from one designated
+    re-simulation instead.
+    """
+    target = "a traced replay of the first runnable cell" if replay else "the run"
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=f"record a Chrome/Perfetto trace of {target} into FILE",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=int, default=None, metavar="CYCLES",
+        help="sample windowed counter time-series every CYCLES cycles "
+        + (
+            "(embedded in the trace artifact; needs --trace-out)"
+            if replay
+            else "(attached to the report's 'metrics' field)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent result store even for sweep-all",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help="write executor telemetry (per-job wall times, worker "
+        "utilization, store hits, retries) as JSON",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
@@ -217,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate on a registered multi-device topology",
     )
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_trace_options(run)
 
     sweep = subparsers.add_parser("sweep", help="compare several policies on one workload")
     sweep.add_argument("--workload", required=True, choices=list(WORKLOAD_NAMES))
@@ -350,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, metavar="FILE",
         help="write the figure data and summary as JSON (CI artifact)",
     )
+    _add_trace_options(serve, replay=True)
     _add_executor_options(serve)
 
     faults = subparsers.add_parser(
@@ -386,7 +432,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep checkpoint file: an interrupted run re-invoked with "
         "the same path resumes without re-simulating finished cells",
     )
+    _add_trace_options(faults, replay=True)
     _add_executor_options(faults)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="record a Chrome/Perfetto trace of one instrumented run",
+    )
+    trace_source = trace.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument(
+        "--workload", choices=list(WORKLOAD_NAMES),
+        help="single workload to trace",
+    )
+    trace_source.add_argument(
+        "--mix", choices=list(MIX_NAMES),
+        help="serving mix to trace (concurrent streams)",
+    )
+    trace.add_argument(
+        "--policy", default="CacheRW",
+        help="policy name (default: CacheRW)",
+    )
+    trace.add_argument(
+        "--topology", default=None, choices=list(TOPOLOGY_NAMES),
+        help="trace on a registered multi-device topology",
+    )
+    trace.add_argument(
+        "--plan", default=None, choices=list(FAULT_PLAN_NAMES),
+        help="fault plan to inject during the traced run",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="trace artifact path (default: trace.json; open in "
+        "https://ui.perfetto.dev or chrome://tracing)",
+    )
+    trace.add_argument(
+        "--metrics-interval", type=int, default=None, metavar="CYCLES",
+        help="also sample windowed counter time-series every CYCLES cycles "
+        "(embedded in the trace artifact)",
+    )
+    trace.add_argument(
+        "--telemetry-out", default=argparse.SUPPRESS, metavar="FILE",
+        help="write the host-side profiling summary (events/sec, "
+        "per-component attribution) as JSON",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the run summary as JSON"
+    )
 
     cache = subparsers.add_parser(
         "cache", help="persistent result-store lifecycle (stats/clear/prune)"
@@ -442,6 +533,55 @@ def _runner(
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
     )
+
+
+def _telemetry_config(args: argparse.Namespace, profile: bool = False) -> TelemetryConfig | None:
+    """The :class:`TelemetryConfig` the run-level flags request (or None)."""
+    trace_out = getattr(args, "trace_out", None)
+    interval = getattr(args, "metrics_interval", None) or 0
+    if not trace_out and not interval and not profile:
+        return None
+    return TelemetryConfig(trace=bool(trace_out), metrics_interval=interval, profile=profile)
+
+
+def _write_trace(path: str, session: SimulationSession, command: str) -> None:
+    """Validate and atomically write the session's recorded trace.
+
+    When the session also sampled windowed metrics, the windows ride along
+    under ``otherData.metricsWindows`` (the trace-event format reserves
+    ``otherData`` for free-form payload), so one artifact carries the full
+    observability record of the run.
+    """
+    recorder = session.recorder
+    assert recorder is not None  # callers only trace with trace=True
+    blob = recorder.to_dict()
+    if session.sampler is not None:
+        other = blob["otherData"]
+        assert isinstance(other, dict)
+        other["metricsWindows"] = [dict(window) for window in session.sampler.windows]
+    validate_trace(blob)
+    atomic_write_json(path, blob, indent=None)
+    events = blob["traceEvents"]
+    assert isinstance(events, list)
+    print(
+        f"[{command}] wrote {len(events)} trace events to {path}"
+        + (" (truncated)" if recorder.truncated else ""),
+        file=sys.stderr,
+    )
+
+
+def _write_executor_telemetry(args: argparse.Namespace, runner: ExperimentRunner) -> None:
+    """Write the ``--telemetry-out`` executor artifact, when requested."""
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        return
+    blob = {
+        "schema": 1,
+        "command": args.command,
+        "executor": runner.executor.stats.telemetry(workers=args.jobs),
+    }
+    atomic_write_json(path, blob)
+    print(f"[{args.command}] wrote executor telemetry to {path}", file=sys.stderr)
 
 
 def _list_payload() -> dict[str, object]:
@@ -533,14 +673,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     policy = policy_by_name(args.policy)
     topology = topology_by_name(args.topology) if args.topology else None
-    report = simulate(workload, policy, config=_system_config(args), topology=topology)
+    telemetry = _telemetry_config(args)
+    if telemetry is None:
+        report = simulate(workload, policy, config=_system_config(args), topology=topology)
+    else:
+        session = SimulationSession(
+            policy=policy,
+            config=_system_config(args),
+            topology=topology,
+            telemetry=telemetry,
+        )
+        report = session.run(workload)
+        if args.trace_out:
+            _write_trace(args.trace_out, session, "run")
     label = f"{args.workload} under {policy.name}"
     if topology is not None:
         label += f" on {topology.label}"
+    payload = report.as_dict()
+    if report.metrics:
+        # windowed time-series only exist when --metrics-interval asked for
+        # them, so plain runs keep the historical flat payload byte-for-byte
+        payload["metrics"] = report.metrics
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2))
+        print(json.dumps(payload, indent=2))
     else:
-        print(render_kv_table(label, report.as_dict()))
+        if report.metrics:
+            payload["metrics"] = f"{len(report.metrics)} windows"
+        print(render_kv_table(label, payload))
     return 0
 
 
@@ -557,6 +716,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_series_table(f"Execution time for {workload_name} (normalized)", data))
     dram = {workload_name: comparison.metric(lambda r: float(r.dram_accesses))}
     print(render_series_table(f"DRAM accesses for {workload_name}", dram, value_format="{:.0f}"))
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -565,6 +725,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _runner(args, workload_names=args.workloads)
     data = builder(runner)
     print(render_series_table(title, data, value_format=fmt))
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -599,6 +760,7 @@ def _cmd_sweep_all(args: argparse.Namespace) -> int:
         f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
         file=sys.stderr,
     )
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -656,9 +818,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
             "figure14": figure,
             "summary": summary,
         }
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(blob, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.json_out, blob)
         print(f"[adaptive] wrote figure data to {args.json_out}", file=sys.stderr)
 
     stats = runner.stats()
@@ -668,6 +828,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
         file=sys.stderr,
     )
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -757,9 +918,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
             cus_per_device=runner.config.gpu.num_cus,
             policies=[p.name for p in policies],
         )
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(blob, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.json_out, blob)
         print(f"[topology] wrote figure data to {args.json_out}", file=sys.stderr)
 
     stats = runner.stats()
@@ -769,6 +928,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
         file=sys.stderr,
     )
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -842,10 +1002,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scale=args.scale,
             num_cus=runner.config.gpu.num_cus,
         )
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(blob, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.json_out, blob)
         print(f"[serve] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    if args.trace_out:
+        # the sweep's cells ran in workers (or came from the store), so the
+        # trace is an inline replay of the first runnable cell of the grid
+        cell = next(
+            (
+                (mix, mode)
+                for mix in mixes
+                for mode in modes
+                if mode != "partitioned"
+                or mix_is_partitionable(mix, runner.config.gpu.num_cus)
+            ),
+            None,
+        )
+        if cell is None:  # pragma: no cover - figure_interference errors first
+            print("[serve] note: no runnable cell to trace", file=sys.stderr)
+        else:
+            mix, mode = cell
+            session = SimulationSession(
+                policy=policies[0],
+                config=_system_config(args),
+                streams=mix.with_cu_share(mode).scaled(args.scale),
+                telemetry=_telemetry_config(args),
+            )
+            session.run()
+            _write_trace(args.trace_out, session, "serve")
+            print(
+                f"[serve] traced {mix.name} under {policies[0].name} "
+                f"({mode} CUs)",
+                file=sys.stderr,
+            )
 
     stats = runner.stats()
     print(
@@ -854,6 +1043,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"simulated={stats['runs_simulated']} loaded={stats['runs_loaded']}",
         file=sys.stderr,
     )
+    _write_executor_telemetry(args, runner)
     return 0
 
 
@@ -949,10 +1139,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             scale=args.scale,
             num_cus=runner.config.gpu.num_cus,
         )
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(blob, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.json_out, blob)
         print(f"[faults] wrote figure data to {args.json_out}", file=sys.stderr)
+
+    if args.trace_out:
+        # inline traced replay of the first mix's first runnable cell,
+        # preferring a plan that actually injects faults so the trace shows
+        # degraded intervals; falls back to the healthy baseline
+        mix = mixes[0]
+        runnable = [
+            plan
+            for plan in plans
+            if plan_is_runnable(plan, topology, mix.num_streams) is None
+        ]
+        plan = next((p for p in runnable if not p.empty), None) or (
+            runnable[0] if runnable else None
+        )
+        if plan is None:
+            print(
+                f"[faults] note: no runnable plan for {mix.name}; trace skipped",
+                file=sys.stderr,
+            )
+        else:
+            session = SimulationSession(
+                policy=policies[0],
+                config=_system_config(args),
+                streams=mix.scaled(args.scale),
+                topology=topology,
+                faults=plan,
+                telemetry=_telemetry_config(args),
+            )
+            session.run()
+            _write_trace(args.trace_out, session, "faults")
+            print(
+                f"[faults] traced {mix.name} under {policies[0].name} "
+                f"with plan {plan.label}",
+                file=sys.stderr,
+            )
 
     stats = runner.stats()
     print(
@@ -963,6 +1186,84 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"failed={stats['runs_failed']}",
         file=sys.stderr,
     )
+    _write_executor_telemetry(args, runner)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record one fully instrumented run and write its trace artifact.
+
+    The session runs with every observer attached: the Chrome trace
+    recorder (always), the windowed metrics sampler (with
+    ``--metrics-interval``), and the host profiler (always -- the summary
+    reports simulator throughput and per-component callback attribution).
+    The trace is validated before it is written.
+    """
+    policy = policy_by_name(args.policy)
+    topology = topology_by_name(args.topology) if args.topology else None
+    plan = fault_plan_by_name(args.plan) if args.plan else None
+    telemetry = TelemetryConfig(
+        trace=True,
+        metrics_interval=args.metrics_interval or 0,
+        profile=True,
+    )
+    try:
+        if args.mix:
+            session = SimulationSession(
+                policy=policy,
+                config=_system_config(args),
+                topology=topology,
+                streams=mix_by_name(args.mix).scaled(args.scale),
+                faults=plan,
+                telemetry=telemetry,
+            )
+            report = session.run()
+        else:
+            session = SimulationSession(
+                policy=policy,
+                config=_system_config(args),
+                topology=topology,
+                faults=plan,
+                telemetry=telemetry,
+            )
+            report = session.run(get_workload(args.workload, scale=args.scale))
+    except ValueError as exc:  # e.g. a fault plan the system cannot host
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _write_trace(args.out, session, "trace")
+
+    recorder, profiler = session.recorder, session.profiler
+    assert recorder is not None and profiler is not None
+    latency = session.stats.histogram_summary("gpu.mem_latency")
+    summary: dict[str, object] = {
+        "workload": report.workload,
+        "policy": report.policy,
+        "cycles": report.cycles,
+        "trace_events": len(recorder.events),
+        "trace_truncated": recorder.truncated,
+        "kernel_spans": len(recorder.spans("kernel")),
+        "wavefront_spans": len(recorder.spans("wavefront")),
+        "metrics_windows": len(session.sampler.windows) if session.sampler else 0,
+        "sim_events": profiler.events,
+        "wall_seconds": round(profiler.wall_seconds, 6),
+        "events_per_second": round(profiler.events_per_second, 1),
+        "mem_latency_p50": latency["p50"],
+        "mem_latency_p95": latency["p95"],
+        "mem_latency_p99": latency["p99"],
+    }
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(render_kv_table(f"Trace of {report.workload} under {report.policy}", summary))
+    if args.telemetry_out:
+        blob = {
+            "schema": 1,
+            "command": "trace",
+            "profiler": profiler.summary(),
+            "run": summary,
+        }
+        atomic_write_json(args.telemetry_out, blob)
+        print(f"[trace] wrote profiling telemetry to {args.telemetry_out}", file=sys.stderr)
     return 0
 
 
@@ -1036,6 +1337,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
     if args.job_retries < 0:
         parser.error(f"--job-retries must be >= 0, got {args.job_retries}")
+    interval = getattr(args, "metrics_interval", None)
+    if interval is not None and interval < 0:
+        parser.error(f"--metrics-interval must be non-negative, got {interval}")
     try:
         if args.command == "list":
             return _cmd_list(args)
@@ -1053,6 +1357,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "figure":

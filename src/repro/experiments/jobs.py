@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -41,6 +40,7 @@ from repro.core.reuse_predictor import PredictorConfig
 from repro.experiments.store import ResultStore
 from repro.faults.config import FaultPlan
 from repro.fingerprint import SCHEMA_VERSION, fingerprint
+from repro.ioutil import atomic_write_json
 from repro.session import simulate
 from repro.stats.report import RunReport
 from repro.streams.config import StreamConfig
@@ -197,9 +197,13 @@ def _execute_job_payload(job: JobSpec) -> dict[str, object]:
     Returning ``to_dict()`` output instead of the dataclass keeps the
     parent<->worker contract identical to the store's JSON contract, so a
     report that crossed a process boundary compares equal to one that was
-    simulated inline or loaded from disk.
+    simulated inline or loaded from disk.  The worker also measures its own
+    wall time -- queueing and pickling excluded -- which feeds the sweep
+    telemetry's worker-utilization accounting.
     """
-    return execute_job(job).to_dict()
+    started = time.perf_counter()
+    report = execute_job(job).to_dict()
+    return {"report": report, "elapsed_seconds": time.perf_counter() - started}
 
 
 #: per-result callback: (index within the batch, finished report)
@@ -274,18 +278,25 @@ class SerialBackend:
     def __init__(self) -> None:
         #: structured records of jobs that raised, reset per batch
         self.failures: list[JobFailure] = []
+        #: per-batch wall seconds of each finished job, by batch index
+        self.job_seconds: dict[int, float] = {}
+        #: batch attempts of the last run (serial never retries)
+        self.last_attempts = 1
 
     def run_jobs(
         self, jobs: Sequence[JobSpec], on_result: Optional[ResultCallback] = None
     ) -> list[RunReport]:
         self.failures = []
+        self.job_seconds = {}
         reports = []
         for index, job in enumerate(jobs):
+            started = time.perf_counter()
             try:
                 report = execute_job(job)
             except BaseException as exc:
                 self.failures.append(_failure(job, index, exc, attempts=1))
                 raise
+            self.job_seconds[index] = time.perf_counter() - started
             if on_result is not None:
                 on_result(index, report)
             reports.append(report)
@@ -346,6 +357,10 @@ class ProcessPoolBackend:
         self.retry_backoff = retry_backoff
         #: structured records of jobs unfinished after the final attempt
         self.failures: list[JobFailure] = []
+        #: per-batch worker-side wall seconds of each finished job
+        self.job_seconds: dict[int, float] = {}
+        #: pool attempts the last batch needed (1 = no retries)
+        self.last_attempts = 1
 
     def _sleep_before_retry(self, attempt: int) -> None:
         if self.retry_backoff > 0:
@@ -356,6 +371,8 @@ class ProcessPoolBackend:
     ) -> list[RunReport]:
         jobs = list(jobs)
         self.failures = []
+        self.job_seconds = {}
+        self.last_attempts = 1
         if not jobs:
             return []
         if len(jobs) == 1:
@@ -366,6 +383,7 @@ class ProcessPoolBackend:
         attempt = 0
         while pending:
             attempt += 1
+            self.last_attempts = attempt
             if attempt > 1:
                 self._sleep_before_retry(attempt - 1)
             errors_now = self._run_attempt(
@@ -393,6 +411,8 @@ class ProcessPoolBackend:
         attempt = 0
         while True:
             attempt += 1
+            self.last_attempts = attempt
+            started = time.perf_counter()
             try:
                 report = execute_job(job)
                 break
@@ -401,6 +421,7 @@ class ProcessPoolBackend:
                     self.failures.append(_failure(job, 0, exc, attempts=attempt))
                     raise
                 self._sleep_before_retry(attempt)
+        self.job_seconds[0] = time.perf_counter() - started
         if on_result is not None:
             on_result(0, report)
         return [report]
@@ -432,10 +453,14 @@ class ProcessPoolBackend:
                 for future in as_completed(futures, timeout=self.timeout):
                     index = futures[future]
                     try:
-                        report = RunReport.from_dict(future.result())
+                        payload = future.result()
+                        report = RunReport.from_dict(payload["report"])
                     except BaseException as exc:  # keep draining the batch
                         errors[index] = exc
                         continue
+                    self.job_seconds[index] = float(
+                        payload.get("elapsed_seconds", 0.0)
+                    )
                     reports[index] = report
                     if on_result is not None:
                         on_result(index, report)
@@ -462,23 +487,71 @@ class ProcessPoolBackend:
 
 @dataclass
 class ExecutorStats:
-    """Where the executor's reports came from (cumulative)."""
+    """Where the executor's reports came from (cumulative), plus the sweep
+    telemetry: batch and per-job wall time, retry pressure, and the worker
+    utilization they imply."""
 
     runs_simulated: int = 0
     runs_loaded: int = 0
     runs_failed: int = 0
     #: structured records behind :attr:`runs_failed` (cumulative)
     failures: list[JobFailure] = field(default_factory=list)
+    #: backend batches dispatched (store-only sweeps dispatch none)
+    batches: int = 0
+    #: wall seconds spent inside backend batches, end to end
+    batch_seconds: float = 0.0
+    #: summed per-job wall seconds (worker-side, so pool overhead excluded)
+    job_seconds: float = 0.0
+    #: jobs with a recorded wall time (failed jobs have none)
+    jobs_timed: int = 0
+    #: slowest single job observed (the sweep's straggler)
+    max_job_seconds: float = 0.0
+    #: extra batch attempts beyond the first (crashes, hangs, retries)
+    retry_attempts: int = 0
 
     @property
     def total(self) -> int:
         return self.runs_simulated + self.runs_loaded
+
+    @property
+    def mean_job_seconds(self) -> float:
+        return self.job_seconds / self.jobs_timed if self.jobs_timed else 0.0
+
+    def worker_utilization(self, workers: int = 1) -> float:
+        """Fraction of the worker-pool's batch capacity spent simulating.
+
+        ``sum(job time) / (batch wall time * workers)``: 1.0 means every
+        worker simulated the whole batch; low values expose pool overhead,
+        stragglers or an oversized pool.  0.0 before any batch ran.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        capacity = self.batch_seconds * workers
+        return self.job_seconds / capacity if capacity > 0 else 0.0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "runs_simulated": self.runs_simulated,
             "runs_loaded": self.runs_loaded,
             "runs_failed": self.runs_failed,
+        }
+
+    def telemetry(self, workers: int = 1) -> dict[str, object]:
+        """JSON-ready sweep profile (the ``--telemetry-out`` artifact)."""
+        return {
+            "runs_simulated": self.runs_simulated,
+            "runs_loaded": self.runs_loaded,
+            "runs_failed": self.runs_failed,
+            "store_hit_rate": self.runs_loaded / self.total if self.total else 0.0,
+            "batches": self.batches,
+            "batch_seconds": self.batch_seconds,
+            "job_seconds": self.job_seconds,
+            "jobs_timed": self.jobs_timed,
+            "mean_job_seconds": self.mean_job_seconds,
+            "max_job_seconds": self.max_job_seconds,
+            "retry_attempts": self.retry_attempts,
+            "workers": workers,
+            "worker_utilization": self.worker_utilization(workers),
         }
 
 
@@ -548,27 +621,14 @@ class SweepCheckpoint:
             "done": sorted(self.done),
             "completed": self.complete,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=self.path.parent,
-            prefix=self.path.name + ".",
-            suffix=".tmp",
-            delete=False,
+        atomic_write_json(
+            self.path,
+            blob,
+            indent=None,
+            sort_keys=True,
+            trailing_newline=False,
+            tmp_prefix=self.path.name + ".",
         )
-        try:
-            with handle:
-                json.dump(blob, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, self.path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -606,6 +666,25 @@ class SweepExecutor:
         if failures:
             self.stats.failures.extend(failures)
             self.stats.runs_failed += len(failures)
+
+    def _record_batch(self, seconds: float) -> None:
+        """Harvest one batch's timing telemetry into the stats.
+
+        Tolerant of third-party backends: a backend without ``job_seconds``
+        / ``last_attempts`` still gets batch-level accounting.
+        """
+        stats = self.stats
+        stats.batches += 1
+        stats.batch_seconds += seconds
+        job_seconds = getattr(self.backend, "job_seconds", None)
+        if job_seconds:
+            for value in job_seconds.values():
+                stats.job_seconds += value
+                stats.jobs_timed += 1
+                if value > stats.max_job_seconds:
+                    stats.max_job_seconds = value
+        attempts = getattr(self.backend, "last_attempts", 1)
+        stats.retry_attempts += max(0, attempts - 1)
 
     def run(
         self,
@@ -658,10 +737,12 @@ class SweepExecutor:
                 if checkpoint is not None:
                     checkpoint.mark_done(key)
 
+            batch_started = time.perf_counter()
             try:
                 fresh = self.backend.run_jobs(batch, on_result=persist)
             finally:
                 self._record_failures()
+                self._record_batch(time.perf_counter() - batch_started)
             for key, report in zip(keys, fresh):
                 for index in pending[key]:
                     reports[index] = report

@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 import warnings
 from pathlib import Path
 from typing import Iterator, Mapping, Optional
 
 from repro.fingerprint import SCHEMA_VERSION
+from repro.ioutil import atomic_write_json
 from repro.stats.report import RunReport
 
 __all__ = ["ResultStore", "default_cache_dir"]
@@ -129,23 +129,16 @@ class ResultStore:
         blob: dict[str, object] = {"schema": SCHEMA_VERSION, "key": key, "report": report.to_dict()}
         if job is not None:
             blob["job"] = dict(job)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(blob, handle, sort_keys=True)
-                # flush + fsync before the rename: os.replace alone keeps
-                # readers from seeing a torn blob, but only a durable temp
-                # file keeps a power cut from replacing a good entry with
-                # an empty one
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        # the ".tmp-" prefix keeps writer orphans visible to prune()/stats()
+        # (and excluded from keys()) exactly as before the shared writer
+        atomic_write_json(
+            path,
+            blob,
+            indent=None,
+            sort_keys=True,
+            trailing_newline=False,
+            tmp_prefix=".tmp-",
+        )
 
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:

@@ -122,6 +122,9 @@ class FaultInjector:
         #: intervals becomes faults.degraded_cycles
         self._active = 0
         self._degraded_since = 0
+        #: optional telemetry TraceRecorder (one None-test per fault event,
+        #: never on a request path)
+        self.trace = None
         self._validate()
         for event in plan.events:
             sim.schedule_at(event.cycle, lambda e=event: self._strike(e))
@@ -164,6 +167,8 @@ class FaultInjector:
     def _activate(self) -> None:
         if self._active == 0:
             self._degraded_since = self.sim.now
+            if self.trace is not None:
+                self.trace.degraded_begin()
         self._active += 1
 
     def _deactivate(self) -> None:
@@ -172,6 +177,8 @@ class FaultInjector:
         self._active -= 1
         if self._active == 0:
             self.stats.add("faults.degraded_cycles", self.sim.now - self._degraded_since)
+            if self.trace is not None:
+                self.trace.degraded_end()
 
     def finalize(self) -> None:
         """Close the books at workload completion.
@@ -188,6 +195,8 @@ class FaultInjector:
         if self._active > 0:
             self.stats.add("faults.degraded_cycles", self.sim.now - self._degraded_since)
             self._active = 0
+            if self.trace is not None:
+                self.trace.degraded_end()
 
     # ------------------------------------------------------------------
     # event application
@@ -202,6 +211,8 @@ class FaultInjector:
             "dram_spike": self._strike_dram_spike,
             "stream_kill": self._strike_stream_kill,
         }[event.kind]
+        if self.trace is not None:
+            self.trace.fault_event(event.kind, event.target)
         if handler(event):
             self.stats.add("faults.injected")
         else:

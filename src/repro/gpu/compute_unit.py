@@ -65,6 +65,9 @@ class ComputeUnit:
         self._c_vector_ops = stats.counter("gpu.vector_ops")
         self._c_mem_instructions = stats.counter("gpu.mem_instructions")
         self._h_mem_latency = stats.histogram_handle("gpu.mem_latency")
+        #: optional telemetry TraceRecorder (one None-test per wavefront
+        #: start/finish, nothing on the per-instruction path)
+        self.trace = None
 
     # ------------------------------------------------------------------
     @property
@@ -100,11 +103,15 @@ class ComputeUnit:
         )
         self._resident[wavefront_id] = wavefront
         self._c_wavefronts_started.add()
+        if self.trace is not None:
+            self.trace.wavefront_started(wavefront_id, self.cu_id, stream_id, kernel_id)
         wavefront.start()
 
     def _wavefront_finished(self, wavefront: Wavefront) -> None:
         del self._resident[wavefront.wavefront_id]
         self._c_wavefronts_finished.add()
+        if self.trace is not None:
+            self.trace.wavefront_finished(wavefront.wavefront_id)
         self.on_wavefront_finished(self.cu_id, wavefront.stream_id)
 
     # ------------------------------------------------------------------

@@ -177,6 +177,18 @@ class Gpu:
         #: ``(stream_id, cu_id, wavefront_id)`` -- one None-test per
         #: wavefront start, nothing on the per-event hot path
         self.dispatch_log: Optional[list[tuple[int, int, int]]] = None
+        #: optional telemetry TraceRecorder (same None-test pattern as the
+        #: dispatch log: per kernel launch/completion, never per event)
+        self.trace = None
+
+    def attach_trace(self, recorder) -> None:
+        """Attach a telemetry trace recorder to the GPU and its CUs."""
+        self.trace = recorder
+        recorder.set_topology(
+            self._num_devices, self.cus_per_device or len(self.cus)
+        )
+        for cu in self.cus:
+            cu.trace = recorder
 
     # ------------------------------------------------------------------
     # public entry points
@@ -314,6 +326,10 @@ class Gpu:
         self.stats.add("gpu.kernels_launched")
         if self._serving:
             self.stats.add(f"stream{stream.stream_id}.kernels_launched")
+        if self.trace is not None:
+            self.trace.kernel_started(
+                stream.stream_id, stream.kernel_index, kernel.name
+            )
         if kernel.num_wavefronts == 0:
             raise ValueError(f"kernel {kernel.name!r} has no wavefronts")
         stream.outstanding = kernel.num_wavefronts
@@ -377,6 +393,8 @@ class Gpu:
                 self._kernel_complete(stream)
 
     def _kernel_complete(self, stream: _StreamState) -> None:
+        if self.trace is not None:
+            self.trace.kernel_finished(stream.stream_id)
         stream.current_kernel = None
         self.stats.add("gpu.kernels_completed")
         if self._serving:
@@ -462,6 +480,8 @@ class Gpu:
         stream.pending_restart = False
         stream.kill_cycle = self.sim.now
         stream.launch_token += 1  # disarm launch callbacks already in flight
+        if self.trace is not None and stream.current_kernel is not None:
+            self.trace.kernel_interrupted(stream_id)
         dropped = 0
         for queue in stream.pending:
             dropped += len(queue)

@@ -87,6 +87,9 @@ class MemoryHierarchy:
         self._c_load_requests = stats.counter("gpu.load_requests")
         self._c_store_requests = stats.counter("gpu.store_requests")
         self._c_kernel_boundaries = stats.counter("gpu.kernel_boundaries")
+        #: optional telemetry TraceRecorder (one None-test per kernel
+        #: boundary, never on the per-access path)
+        self.trace = None
         #: per-stream request counters, indexed by stream id; resolved only
         #: when a serving session enables them, so single-stream runs keep
         #: exactly the plain counter set
@@ -352,6 +355,8 @@ class MemoryHierarchy:
                 walk, which is bit-identical to the pre-stream behaviour.
         """
         self._c_kernel_boundaries.add()
+        if self.trace is not None:
+            self.trace.kernel_boundary(stream_id)
         if self._kernel_boundary_hooks:
             for hook in self._kernel_boundary_hooks:
                 hook()

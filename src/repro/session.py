@@ -41,6 +41,7 @@ from repro.memory.address_mapping import AddressMapping, DeviceInterleave
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.stats import RunReport, StatsCollector
 from repro.streams.address_space import isolate_traces
+from repro.telemetry import MetricsSampler, SimProfiler, TelemetryConfig, TraceRecorder
 from repro.streams.config import ServingMix, StreamConfig
 from repro.topology.config import TopologyConfig
 from repro.topology.partition import partition_trace
@@ -94,6 +95,13 @@ class SimulationSession:
             deterministically during the run; the report then carries
             ``faults.*`` resilience counters.  The empty plan injects
             nothing and is bit-identical to ``faults=None``.
+        telemetry: when given (a
+            :class:`~repro.telemetry.TelemetryConfig`), attach the enabled
+            observers -- trace recorder, metrics sampler, host profiler
+            (exposed as ``session.recorder`` / ``session.sampler`` /
+            ``session.profiler``).  Observers never write counters or
+            change timing, so the report's results are unaffected;
+            ``telemetry=None`` is the exact historical code path.
     """
 
     def __init__(
@@ -106,6 +114,7 @@ class SimulationSession:
         topology: Optional[TopologyConfig] = None,
         streams: Optional[StreamsSpec] = None,
         faults: Optional[FaultPlan] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if policy is None and adaptive is None:
             raise ValueError("a session needs a policy or an adaptive configuration")
@@ -236,6 +245,36 @@ class SimulationSession:
                 num_streams=len(self.streams) if self.streams is not None else 0,
             )
 
+        # observability: strictly observers (no counter writes, no timing
+        # changes); telemetry=None leaves every component's trace hook at
+        # its None default -- the exact historical code path
+        self.telemetry = telemetry
+        self.recorder: Optional[TraceRecorder] = None
+        self.sampler: Optional[MetricsSampler] = None
+        self.profiler: Optional[SimProfiler] = None
+        if telemetry is not None and telemetry.enabled:
+            if telemetry.trace:
+                self.recorder = TraceRecorder(
+                    self.sim, max_events=telemetry.max_trace_events
+                )
+                self.gpu.attach_trace(self.recorder)
+                self.hierarchy.trace = self.recorder
+                if self.controller is not None:
+                    self.controller.trace = self.recorder
+                if self.phase_detector is not None:
+                    self.phase_detector.add_listener(self.recorder.phase_change)
+                if self.injector is not None:
+                    self.injector.trace = self.recorder
+                self.sim.on_finish(self.recorder.finish)
+            if telemetry.metrics_interval:
+                self.sampler = MetricsSampler(
+                    self.sim, self.stats, telemetry.metrics_interval
+                )
+                self.sim.on_finish(self.sampler.finalize)
+            if telemetry.profile:
+                self.profiler = SimProfiler()
+                self.sim.profiler = self.profiler
+
     # ------------------------------------------------------------------
     def run(self, workload: Workload | WorkloadTrace | None = None) -> RunReport:
         """Execute the workload (or the serving streams) and return the report."""
@@ -263,6 +302,8 @@ class SimulationSession:
         self.gpu.run_workload(trace, on_complete=on_complete)
         if self.controller is not None:
             self.controller.start(lambda: self.gpu.running)
+        if self.sampler is not None:
+            self.sampler.start(lambda: self.gpu.running)
         self.sim.run()
         if not finished:
             raise RuntimeError(
@@ -276,6 +317,7 @@ class SimulationSession:
             cycles=cycles,
             stats=self.stats,
             config=self.config,
+            metrics=self.sampler.windows if self.sampler is not None else None,
         )
 
     def _run_streams(self) -> RunReport:
@@ -305,6 +347,8 @@ class SimulationSession:
         self.gpu.run_streams(traces, self.streams, on_complete=on_complete)
         if self.controller is not None:
             self.controller.start(lambda: self.gpu.running)
+        if self.sampler is not None:
+            self.sampler.start(lambda: self.gpu.running)
         self.sim.run()
         if not finished:
             raise RuntimeError(
@@ -318,6 +362,7 @@ class SimulationSession:
             cycles=finished[0],
             stats=self.stats,
             config=self.config,
+            metrics=self.sampler.windows if self.sampler is not None else None,
         )
 
 
@@ -331,6 +376,7 @@ def simulate(
     topology: Optional[TopologyConfig] = None,
     streams: Optional[StreamsSpec] = None,
     faults: Optional[FaultPlan] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -360,5 +406,6 @@ def simulate(
         topology=topology,
         streams=streams,
         faults=faults,
+        telemetry=telemetry,
     )
     return session.run(workload)

@@ -21,6 +21,7 @@ to the old lazily-created ``defaultdict`` behaviour.
 from __future__ import annotations
 
 from collections import defaultdict
+from math import ceil
 from typing import Iterable, Mapping
 
 __all__ = ["Counter", "StatsCollector"]
@@ -135,6 +136,46 @@ class StatsCollector:
         total = sum(v * c for v, c in hist.items())
         count = sum(hist.values())
         return total / count
+
+    def histogram_percentile(self, name: str, p: float) -> float:
+        """The ``p``-th percentile of histogram ``name`` (0.0 if empty).
+
+        Nearest-rank definition: the smallest observed value whose
+        cumulative count reaches ``ceil(p/100 * total)``, so the result is
+        always an actually-observed value.  ``p=0`` is the minimum,
+        ``p=100`` the maximum.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        hist = self._histograms.get(name)
+        if not hist:
+            return 0.0
+        total = sum(hist.values())
+        rank = max(1, ceil(p / 100.0 * total))
+        cumulative = 0
+        for value in sorted(hist):
+            cumulative += hist[value]
+            if cumulative >= rank:
+                return float(value)
+        return float(max(hist))  # pragma: no cover - rank <= total always hits
+
+    def histogram_summary(self, name: str) -> dict[str, float]:
+        """Count/mean/p50/p95/p99/max digest of histogram ``name``.
+
+        The telemetry latency summaries use this shape; all fields are 0.0
+        for an empty (or absent) histogram.
+        """
+        hist = self._histograms.get(name)
+        if not hist:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": float(sum(hist.values())),
+            "mean": self.histogram_mean(name),
+            "p50": self.histogram_percentile(name, 50),
+            "p95": self.histogram_percentile(name, 95),
+            "p99": self.histogram_percentile(name, 99),
+            "max": float(max(hist)),
+        }
 
     # -- snapshots ---------------------------------------------------------
     def snapshot(self) -> dict[str, int]:

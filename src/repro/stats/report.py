@@ -42,6 +42,9 @@ class RunReport:
     counters: dict[str, int] = field(default_factory=dict)
     clock_ghz: float = 1.6
     wavefront_size: int = 64
+    #: telemetry metrics windows (``{"start", "end", "counters"}`` dicts,
+    #: see :mod:`repro.telemetry.metrics`); empty unless the run sampled
+    metrics: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -52,6 +55,7 @@ class RunReport:
         cycles: int,
         stats: StatsCollector,
         config: SystemConfig,
+        metrics: "list[dict] | None" = None,
     ) -> "RunReport":
         """Build a report from the shared counter store after a run."""
         return cls(
@@ -61,6 +65,7 @@ class RunReport:
             counters=stats.counters(),
             clock_ghz=config.gpu.clock_ghz,
             wavefront_size=config.gpu.wavefront_size,
+            metrics=list(metrics) if metrics else [],
         )
 
     # -- serialization -----------------------------------------------------
@@ -73,7 +78,7 @@ class RunReport:
         The persistent result store and the process-pool backend both ship
         reports across process boundaries in this form.
         """
-        return {
+        blob: dict[str, object] = {
             "workload": self.workload,
             "policy": self.policy,
             "cycles": self.cycles,
@@ -81,6 +86,11 @@ class RunReport:
             "clock_ghz": self.clock_ghz,
             "wavefront_size": self.wavefront_size,
         }
+        if self.metrics:
+            # only sampled runs carry the key, so blobs of plain runs (and
+            # every pre-telemetry golden fixture) are byte-identical
+            blob["metrics"] = [dict(window) for window in self.metrics]
+        return blob
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunReport":
@@ -96,6 +106,9 @@ class RunReport:
         counters_raw = data.get("counters", {})
         if not isinstance(counters_raw, Mapping):
             raise ValueError("run report counters must be a mapping")
+        metrics_raw = data.get("metrics", [])
+        if not isinstance(metrics_raw, Sequence) or isinstance(metrics_raw, (str, bytes)):
+            raise ValueError("run report metrics must be a list of windows")
         return cls(
             workload=workload,
             policy=policy,
@@ -103,6 +116,7 @@ class RunReport:
             counters={str(name): int(value) for name, value in counters_raw.items()},  # type: ignore[arg-type]
             clock_ghz=float(data.get("clock_ghz", 1.6)),  # type: ignore[arg-type]
             wavefront_size=int(data.get("wavefront_size", 64)),  # type: ignore[arg-type]
+            metrics=[dict(window) for window in metrics_raw],  # type: ignore[call-overload]
         )
 
     # ------------------------------------------------------------------

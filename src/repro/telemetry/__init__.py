@@ -1,0 +1,34 @@
+"""Observability layer: tracing, windowed metrics and host profiling.
+
+Three observers, any combination of which a
+:class:`~repro.telemetry.config.TelemetryConfig` switches on for a
+:class:`~repro.session.SimulationSession`:
+
+* :class:`TraceRecorder` -- a cycle-accurate Chrome/Perfetto trace-event
+  timeline (kernel spans per stream, wavefront slices per CU/device,
+  adaptive and fault annotations);
+* :class:`MetricsSampler` -- per-window counter deltas whose sum exactly
+  reproduces the end-of-run counters;
+* :class:`SimProfiler` -- host-side events/sec and per-component callback
+  time attribution.
+
+All three are strict observers: they never write a counter or perturb the
+simulated timing, so enabling them cannot change a run's results.
+"""
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.metrics import MetricsSampler, derive_window, windows_total
+from repro.telemetry.profiler import SimProfiler, component_of
+from repro.telemetry.trace import TraceRecorder, trace_errors, validate_trace
+
+__all__ = [
+    "TelemetryConfig",
+    "TraceRecorder",
+    "MetricsSampler",
+    "SimProfiler",
+    "component_of",
+    "derive_window",
+    "trace_errors",
+    "validate_trace",
+    "windows_total",
+]

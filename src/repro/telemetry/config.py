@@ -1,0 +1,66 @@
+"""Configuration of the observability layer.
+
+A :class:`TelemetryConfig` is handed to
+:class:`~repro.session.SimulationSession` (or :func:`repro.session.simulate`)
+to switch on any combination of the three observers:
+
+* ``trace`` -- a :class:`~repro.telemetry.trace.TraceRecorder` capturing a
+  Chrome/Perfetto trace-event timeline of the run;
+* ``metrics_interval`` -- a
+  :class:`~repro.telemetry.metrics.MetricsSampler` snapshotting the counter
+  store every N cycles into per-window time-series;
+* ``profile`` -- a :class:`~repro.telemetry.profiler.SimProfiler` measuring
+  host-side event throughput and per-component callback time.
+
+Telemetry is strictly an *observer*: none of the three ever writes a
+counter or changes the simulated timing, so an enabled run reports exactly
+the counters of a disabled one, and ``telemetry=None`` (every pre-existing
+caller) is byte-for-byte the historical code path.  Because results are
+unaffected, telemetry is deliberately **not** part of
+:meth:`repro.experiments.jobs.JobSpec.fingerprint` -- traced runs execute
+inline rather than through the result store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Which observers a session should attach.
+
+    Attributes:
+        trace: record a Chrome trace-event timeline of the run.
+        metrics_interval: close a metrics window every this many cycles
+            (``0`` disables the sampler).
+        profile: measure host-side simulator performance (events/sec and
+            per-component callback attribution).  The profiled event loop
+            is a separate, slower code path; leave this off for
+            production sweeps.
+        max_trace_events: safety bound on recorded trace events; beyond
+            it the recorder stops recording (and flags the trace as
+            truncated) instead of exhausting memory on a huge run.
+    """
+
+    trace: bool = False
+    metrics_interval: int = 0
+    profile: bool = False
+    max_trace_events: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.metrics_interval < 0:
+            raise ValueError(
+                f"metrics_interval must be >= 0, got {self.metrics_interval}"
+            )
+        if self.max_trace_events < 1:
+            raise ValueError(
+                f"max_trace_events must be positive, got {self.max_trace_events}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any observer is switched on."""
+        return self.trace or self.metrics_interval > 0 or self.profile

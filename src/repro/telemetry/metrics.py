@@ -1,0 +1,170 @@
+"""Windowed counter time-series: watch metrics drift across a run.
+
+End-of-run scalar counters cannot show a hit rate collapsing when a
+streaming phase starts or one tenant's traffic starving another.  The
+:class:`MetricsSampler` closes that gap: attached by the session, it
+snapshots the shared :class:`~repro.stats.StatsCollector` every N cycles
+(the store's own :meth:`~repro.stats.StatsCollector.snapshot` /
+:meth:`~repro.stats.StatsCollector.delta_since` helpers) and records each
+window's counter *deltas*.  The windows ride on
+:attr:`repro.stats.report.RunReport.metrics` and serialize through the
+result store with the rest of the report.
+
+Exactness invariant (pinned by the integration tests): the first window's
+baseline is the *empty* snapshot and the final partial window is flushed
+when the simulator finishes, so summing any counter's deltas across all
+windows reproduces the end-of-run value exactly -- no event is ever
+outside a window.
+
+Like every telemetry observer the sampler only *reads* the store: its tick
+events write no counters, so a metrics-enabled run reports exactly the
+counters of a disabled one (same values, same cycle count).
+
+Window schema (one dict per window)::
+
+    {"start": <cycle>, "end": <cycle>, "counters": {name: delta, ...}}
+
+Zero deltas are omitted from ``counters`` (the sum stays exact);
+:func:`derive_window` computes the derived per-window signals (hit rates,
+remote fraction, MSHR pressure, per-stream traffic) from the deltas.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import Simulator
+    from repro.stats import StatsCollector
+
+__all__ = ["MetricsSampler", "derive_window", "windows_total"]
+
+_STREAM_TRAFFIC = re.compile(r"^stream(\d+)\.mem_requests$")
+
+
+class MetricsSampler:
+    """Samples the counter store into fixed-width windows.
+
+    Args:
+        sim: the session's simulator (window boundaries are cycle times).
+        stats: the shared counter store (read-only from here).
+        interval_cycles: window width in GPU cycles (must be positive).
+    """
+
+    def __init__(
+        self, sim: "Simulator", stats: "StatsCollector", interval_cycles: int
+    ) -> None:
+        if interval_cycles < 1:
+            raise ValueError(
+                f"metrics interval must be positive, got {interval_cycles}"
+            )
+        self.sim = sim
+        self.stats = stats
+        self.interval_cycles = interval_cycles
+        #: completed windows, oldest first
+        self.windows: list[dict[str, object]] = []
+        # the empty baseline makes window 0 absorb counters written during
+        # setup (before start()), preserving the sum-equals-final invariant
+        self._baseline: dict[str, int] = {}
+        self._window_start = 0
+        self._started = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def start(self, is_active: Callable[[], bool]) -> None:
+        """Begin periodic sampling; the tick stops re-arming once
+        ``is_active`` returns False (the PhaseDetector idiom, so the event
+        queue still drains)."""
+        if self._started:
+            raise RuntimeError("metrics sampler already started")
+        self._started = True
+
+        def tick() -> None:
+            if not is_active():
+                return
+            self._close_window(self.sim.now)
+            self.sim.schedule(self.interval_cycles, tick)
+
+        self.sim.schedule(self.interval_cycles, tick)
+
+    def finalize(self, final_time: Optional[int] = None) -> None:
+        """Flush the trailing partial window (a :meth:`Simulator.on_finish`
+        hook), so every counter written during the run lands in a window."""
+        if self._finalized:
+            return
+        self._finalized = True
+        end = self.sim.now if final_time is None else final_time
+        self._close_window(end, force=not self.windows)
+
+    # ------------------------------------------------------------------
+    def _close_window(self, end: int, force: bool = False) -> None:
+        delta = self.stats.delta_since(self._baseline)
+        counters = {name: value for name, value in delta.items() if value != 0}
+        if counters or end > self._window_start or force:
+            self.windows.append(
+                {
+                    "start": self._window_start,
+                    "end": end,
+                    "counters": dict(sorted(counters.items())),
+                }
+            )
+        self._baseline = self.stats.snapshot()
+        self._window_start = end
+
+
+# ----------------------------------------------------------------------
+# derived per-window signals
+# ----------------------------------------------------------------------
+def derive_window(window: Mapping[str, object]) -> dict[str, object]:
+    """The time-series signals of one window, computed from its deltas.
+
+    Returns ``l1_hit_rate`` / ``l2_hit_rate`` (hits per access inside the
+    window), ``remote_fraction`` (fabric-crossing share of slice traffic),
+    ``mshr_blocked`` + ``mshr_coalesced`` (L2 miss-handling pressure),
+    ``mem_requests``, and ``stream_traffic`` (stream index -> requests,
+    serving runs only).
+    """
+    counters = window.get("counters")
+    if not isinstance(counters, Mapping):
+        raise ValueError("window has no counters mapping")
+
+    def ratio(numerator: str, denominator: str) -> float:
+        total = counters.get(denominator, 0)
+        return counters.get(numerator, 0) / total if total else 0.0
+
+    remote = counters.get("topo.remote_requests", 0)
+    local = counters.get("topo.local_requests", 0)
+    stream_traffic: dict[int, int] = {}
+    for name, value in counters.items():
+        match = _STREAM_TRAFFIC.match(name)
+        if match is not None:
+            stream_traffic[int(match.group(1))] = int(value)  # type: ignore[call-overload]
+    return {
+        "start": window.get("start"),
+        "end": window.get("end"),
+        "l1_hit_rate": ratio("l1.hits", "l1.accesses"),
+        "l2_hit_rate": ratio("l2.hits", "l2.accesses"),
+        "remote_fraction": remote / (remote + local) if remote + local else 0.0,
+        "mshr_blocked": counters.get("l2.blocked_mshr_full", 0),
+        "mshr_coalesced": counters.get("l2.mshr_coalesced", 0),
+        "mem_requests": counters.get("gpu.mem_requests", 0),
+        "stream_traffic": dict(sorted(stream_traffic.items())),
+    }
+
+
+def windows_total(windows: Iterable[Mapping[str, object]]) -> dict[str, int]:
+    """Sum the per-window deltas back into cumulative counters.
+
+    By the sampler's exactness invariant this reproduces the end-of-run
+    counter values -- the acceptance tests compare it against
+    ``RunReport.counters``.
+    """
+    totals: dict[str, int] = {}
+    for window in windows:
+        counters = window.get("counters")
+        if not isinstance(counters, Mapping):
+            raise ValueError("window has no counters mapping")
+        for name, value in counters.items():
+            totals[name] = totals.get(name, 0) + value  # type: ignore[operator]
+    return {name: value for name, value in sorted(totals.items()) if value != 0}

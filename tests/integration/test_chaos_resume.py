@@ -192,7 +192,7 @@ class TestWorkerChaos:
         assert len(reports) == len(jobs)
         assert backend.failures == []
         # bit-identical to an undisturbed run despite the murder
-        expected = [_real_payload(job) for job in jobs]
+        expected = [_real_payload(job)["report"] for job in jobs]
         assert [r.to_dict() for r in reports] == expected
 
     def test_sigkilled_worker_without_retries_is_a_recorded_failure(

@@ -1,0 +1,252 @@
+"""End-to-end telemetry: observers never perturb results, and their
+artifacts are exact.
+
+The acceptance contract pinned here:
+
+* a run with tracing/metrics/profiling enabled reports counter-for-counter
+  the same results as a disabled run (observers only read);
+* the metrics windows tile the run and their deltas sum exactly to the
+  end-of-run counters;
+* the trace is valid Chrome trace-event JSON whose span population matches
+  the run's counters (kernels completed, wavefronts started), and its
+  degraded spans cover exactly ``faults.degraded_cycles``;
+* metrics windows survive the report's serialization round-trip;
+* the profiled event loop executes the exact same event sequence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.config import scaled_config
+from repro.faults import fault_plan_by_name
+from repro.session import SimulationSession
+from repro.stats.report import RunReport
+from repro.streams import mix_by_name
+from repro.telemetry import TelemetryConfig, trace_errors, windows_total
+from repro.topology import topology_by_name
+from repro.workloads.registry import get_workload
+
+CONFIG = scaled_config(2)
+SCALE = 0.1
+FULL_TELEMETRY = TelemetryConfig(trace=True, metrics_interval=2000, profile=True)
+
+
+def _run(workload: str = "FwSoft", telemetry: TelemetryConfig | None = None):
+    session = SimulationSession(
+        policy="CacheRW", config=CONFIG, telemetry=telemetry
+    )
+    report = session.run(get_workload(workload, scale=SCALE))
+    return session, report
+
+
+class TestObserversDoNotPerturb:
+    def test_full_telemetry_is_bit_identical(self):
+        _, baseline = _run()
+        _, observed = _run(telemetry=FULL_TELEMETRY)
+        assert observed.cycles == baseline.cycles
+        assert observed.counters == baseline.counters
+
+    def test_disabled_config_attaches_nothing(self):
+        session, _ = _run(telemetry=TelemetryConfig())
+        assert session.recorder is None
+        assert session.sampler is None
+        assert session.profiler is None
+
+    def test_faulted_serving_run_is_bit_identical(self):
+        def run(telemetry):
+            session = SimulationSession(
+                policy="CacheRW",
+                config=CONFIG,
+                streams=mix_by_name("mha+fwlstm").scaled(SCALE),
+                topology=topology_by_name("dual-chiplet"),
+                faults=fault_plan_by_name("link-brownout"),
+                telemetry=telemetry,
+            )
+            return session, session.run()
+
+        _, baseline = run(None)
+        session, observed = run(FULL_TELEMETRY)
+        assert observed.cycles == baseline.cycles
+        assert observed.counters == baseline.counters
+        assert session.recorder is not None
+
+
+class TestMetricsExactness:
+    def test_windows_sum_to_report_counters(self):
+        session, report = _run(telemetry=TelemetryConfig(metrics_interval=1500))
+        assert report.metrics  # at least one window
+        assert windows_total(report.metrics) == report.counters
+        # windows tile [0, final] contiguously
+        assert report.metrics[0]["start"] == 0
+        for previous, current in zip(report.metrics, report.metrics[1:]):
+            assert current["start"] == previous["end"]
+        assert report.metrics[-1]["end"] >= report.cycles
+
+    def test_metrics_round_trip_through_serialization(self):
+        _, report = _run(telemetry=TelemetryConfig(metrics_interval=1500))
+        rebuilt = RunReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert rebuilt.metrics == report.metrics
+        assert windows_total(rebuilt.metrics) == rebuilt.counters
+
+    def test_plain_report_has_no_metrics_key(self):
+        _, report = _run()
+        assert report.metrics == []
+        assert "metrics" not in report.to_dict()
+
+
+class TestTraceContents:
+    def test_trace_valid_and_span_population_matches_counters(self):
+        session, report = _run(telemetry=FULL_TELEMETRY)
+        recorder = session.recorder
+        blob = recorder.to_dict()
+        assert trace_errors(blob) == []
+        assert len(recorder.spans("kernel")) == report.counters["gpu.kernels_completed"]
+        assert (
+            len(recorder.spans("wavefront"))
+            == report.counters["gpu.wavefronts_started"]
+        )
+        # spans stay inside the run and never extend past completion
+        for span in recorder.spans():
+            assert span["ts"] >= 0
+            assert span["ts"] + span["dur"] <= report.cycles
+
+    def test_degraded_spans_cover_exactly_degraded_cycles(self):
+        session = SimulationSession(
+            policy="CacheRW",
+            config=CONFIG,
+            streams=mix_by_name("mha+fwlstm").scaled(SCALE),
+            topology=topology_by_name("dual-chiplet"),
+            faults=fault_plan_by_name("link-brownout"),
+            telemetry=TelemetryConfig(trace=True),
+        )
+        report = session.run()
+        degraded = report.counters.get("faults.degraded_cycles", 0)
+        assert degraded > 0  # the brownout plan must actually degrade
+        assert session.recorder.degraded_span_cycles() == degraded
+        assert trace_errors(session.recorder.to_dict()) == []
+
+    def test_serving_trace_has_one_row_per_stream(self):
+        session = SimulationSession(
+            policy="CacheRW",
+            config=CONFIG,
+            streams=mix_by_name("mha+fwlstm").scaled(SCALE),
+            telemetry=TelemetryConfig(trace=True),
+        )
+        session.run()
+        kernel_rows = {span["tid"] for span in session.recorder.spans("kernel")}
+        assert kernel_rows == {0, 1}
+
+
+class TestProfiler:
+    def test_profiler_accounts_every_event(self):
+        session, _ = _run(telemetry=TelemetryConfig(profile=True))
+        profiler = session.profiler
+        assert profiler.events == session.sim.queue.executed
+        assert profiler.wall_seconds > 0
+        summary = profiler.summary()
+        assert summary["events"] == profiler.events
+        assert sum(c["events"] for c in summary["components"]) == profiler.events
+
+
+class TestCliTelemetry:
+    def test_trace_subcommand_writes_valid_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        code = cli.main([
+            "--scale", "0.1", "--cus", "2",
+            "trace", "--workload", "FwSoft",
+            "--metrics-interval", "2000",
+            "--out", str(trace_path),
+            "--telemetry-out", str(telemetry_path),
+            "--json",
+        ])
+        assert code == 0
+        blob = json.loads(trace_path.read_text())
+        assert trace_errors(blob) == []
+        assert blob["otherData"]["metricsWindows"]
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["command"] == "trace"
+        assert telemetry["profiler"]["events"] > 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kernel_spans"] >= 1
+        assert summary["mem_latency_p50"] <= summary["mem_latency_p99"]
+
+    def test_run_trace_out_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "run-trace.json"
+        code = cli.main([
+            "--scale", "0.1", "--cus", "2",
+            "run", "--workload", "FwSoft", "--policy", "CacheRW",
+            "--trace-out", str(trace_path),
+            "--metrics-interval", "2000", "--json",
+        ])
+        assert code == 0
+        assert trace_errors(json.loads(trace_path.read_text())) == []
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]
+        assert windows_total(payload["metrics"])
+
+    def test_run_without_telemetry_flags_matches_plain_run(self, capsys):
+        argv = ["--scale", "0.1", "--cus", "2",
+                "run", "--workload", "FwSoft", "--policy", "CacheRW", "--json"]
+        assert cli.main(argv) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert "metrics" not in plain
+
+    def test_trace_rejects_unhostable_plan(self, tmp_path, capsys):
+        # device-outage needs a spare device; the single topology has none
+        code = cli.main([
+            "--scale", "0.1", "--cus", "2",
+            "trace", "--mix", "mha+fwlstm", "--plan", "device-outage",
+            "--topology", "single",
+            "--out", str(tmp_path / "t.json"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_interval_must_be_non_negative(self):
+        with pytest.raises(SystemExit):
+            cli.main([
+                "run", "--workload", "FwSoft", "--policy", "CacheRW",
+                "--metrics-interval", "-5",
+            ])
+
+    def test_serve_traced_replay(self, tmp_path):
+        trace_path = tmp_path / "serve.json"
+        telemetry_path = tmp_path / "exec.json"
+        code = cli.main([
+            "--scale", "0.1", "--cus", "2", "--no-cache",
+            "serve", "--mix", "mha+fwlstm", "--policies", "CacheRW",
+            "--cu-partition", "shared",
+            "--trace-out", str(trace_path),
+            "--metrics-interval", "2000",
+            "--telemetry-out", str(telemetry_path),
+        ])
+        assert code == 0
+        blob = json.loads(trace_path.read_text())
+        assert trace_errors(blob) == []
+        assert blob["otherData"]["metricsWindows"]
+        executor = json.loads(telemetry_path.read_text())["executor"]
+        assert executor["runs_simulated"] > 0
+        assert executor["jobs_timed"] == executor["runs_simulated"]
+        assert 0.0 <= executor["worker_utilization"] <= 1.0
+
+    def test_faults_traced_replay_shows_degradation(self, tmp_path):
+        trace_path = tmp_path / "faults.json"
+        code = cli.main([
+            "--scale", "0.1", "--cus", "2", "--no-cache",
+            "faults", "--mix", "mha+fwlstm", "--plans", "link-brownout",
+            "--policies", "CacheRW",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        blob = json.loads(trace_path.read_text())
+        assert trace_errors(blob) == []
+        degraded = [
+            event for event in blob["traceEvents"]
+            if event.get("name") == "degraded" and event.get("ph") == "X"
+        ]
+        assert degraded and all(event["dur"] > 0 for event in degraded)

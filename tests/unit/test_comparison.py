@@ -1,0 +1,113 @@
+"""Focused tests for cross-policy comparison and collector merging.
+
+Complements ``test_stats.py``: exercises the failure modes of the
+normalization helpers, candidate filtering, and the histogram side of
+:meth:`StatsCollector.merge` that telemetry's percentile summaries rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_config
+from repro.stats import RunReport, StatsCollector
+from repro.stats.comparison import (
+    PolicyComparison,
+    normalize_to,
+    static_best,
+    static_worst,
+)
+
+
+def _report(policy: str, cycles: int, **counters: int) -> RunReport:
+    stats = StatsCollector()
+    for name, value in counters.items():
+        stats.add(name.replace("_", "."), value)
+    return RunReport.from_stats("W", policy, cycles, stats, default_config())
+
+
+class TestNormalizeTo:
+    def test_missing_baseline_names_it(self):
+        with pytest.raises(KeyError, match="Uncached"):
+            normalize_to({"CacheR": 1.0}, "Uncached")
+
+    def test_zero_baseline_is_value_error(self):
+        with pytest.raises(ValueError, match="zero"):
+            normalize_to({"Uncached": 0.0, "CacheR": 2.0}, "Uncached")
+
+    def test_preserves_every_key(self):
+        values = {"a": 3.0, "b": 6.0, "c": 1.5}
+        normalized = normalize_to(values, "a")
+        assert set(normalized) == set(values)
+        assert normalized["c"] == pytest.approx(0.5)
+
+
+class TestStaticSelection:
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            static_best({})
+        with pytest.raises(ValueError):
+            static_worst({})
+
+    def test_single_candidate_is_both(self):
+        assert static_best({"only": 4.0}) == "only"
+        assert static_worst({"only": 4.0}) == "only"
+
+    def test_candidate_filter_drops_unknown_names(self):
+        comparison = PolicyComparison(workload="W")
+        comparison.add(_report("Uncached", cycles=100))
+        comparison.add(_report("CacheR", cycles=80))
+        # an unknown candidate is skipped rather than KeyError'd
+        assert comparison.static_best(["CacheR", "NoSuchPolicy"]) == "CacheR"
+
+    def test_candidate_filter_with_no_survivors_raises(self):
+        comparison = PolicyComparison(workload="W")
+        comparison.add(_report("Uncached", cycles=100))
+        with pytest.raises(ValueError):
+            comparison.static_best(["NoSuchPolicy"])
+
+
+class TestComparisonOverMergedStats:
+    def test_workload_mismatch_rejected(self):
+        comparison = PolicyComparison(workload="W")
+        with pytest.raises(ValueError, match="expected 'W'"):
+            comparison.add(
+                RunReport(workload="other", policy="Uncached", cycles=1, counters={})
+            )
+
+    def test_merge_adds_shared_histogram_buckets(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        for value in (10, 10, 30):
+            a.observe("gpu.mem_latency", value)
+        for value in (10, 20):
+            b.observe("gpu.mem_latency", value)
+        a.merge(b)
+        assert a.histogram("gpu.mem_latency") == {10: 3, 20: 1, 30: 1}
+        # percentiles see the merged population
+        assert a.histogram_percentile("gpu.mem_latency", 50) == 10.0
+        assert a.histogram_percentile("gpu.mem_latency", 100) == 30.0
+
+    def test_merge_keeps_disjoint_histograms(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        a.observe("l1.lat", 1)
+        b.observe("l2.lat", 2)
+        a.merge(b)
+        assert a.histogram("l1.lat") == {1: 1}
+        assert a.histogram("l2.lat") == {2: 1}
+
+    def test_merged_collectors_feed_comparison(self):
+        # two shards of one run merge, then compare against a second policy
+        shard1, shard2 = StatsCollector(), StatsCollector()
+        shard1.add("dram.accesses", 300)
+        shard2.add("dram.accesses", 100)
+        shard1.merge(shard2)
+        merged = RunReport.from_stats("W", "CacheR", 80, shard1, default_config())
+
+        comparison = PolicyComparison(workload="W")
+        comparison.add(_report("Uncached", cycles=100, dram_accesses=800))
+        comparison.add(merged)
+        normalized = comparison.normalized_dram_accesses("Uncached")
+        assert normalized["CacheR"] == pytest.approx(0.5)
+        assert comparison.static_best() == "CacheR"

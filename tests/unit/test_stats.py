@@ -45,6 +45,50 @@ class TestStatsCollector:
         assert stats.histogram_mean("latency") == pytest.approx(40 / 3)
         assert stats.histogram_mean("missing") == 0.0
 
+    def test_histogram_percentile_nearest_rank(self):
+        stats = StatsCollector()
+        for value, count in ((10, 50), (20, 45), (100, 5)):
+            for _ in range(count):
+                stats.observe("lat", value)
+        assert stats.histogram_percentile("lat", 0) == 10.0
+        assert stats.histogram_percentile("lat", 50) == 10.0
+        assert stats.histogram_percentile("lat", 95) == 20.0
+        assert stats.histogram_percentile("lat", 99) == 100.0
+        assert stats.histogram_percentile("lat", 100) == 100.0
+
+    def test_histogram_percentile_is_an_observed_value(self):
+        stats = StatsCollector()
+        for value in (1, 9):
+            stats.observe("lat", value)
+        # nearest-rank never interpolates between observations
+        assert stats.histogram_percentile("lat", 50) == 1.0
+        assert stats.histogram_percentile("lat", 51) == 9.0
+
+    def test_histogram_percentile_bounds_and_empty(self):
+        stats = StatsCollector()
+        assert stats.histogram_percentile("missing", 99) == 0.0
+        with pytest.raises(ValueError):
+            stats.histogram_percentile("missing", 101)
+        with pytest.raises(ValueError):
+            stats.histogram_percentile("missing", -0.1)
+
+    def test_histogram_summary(self):
+        stats = StatsCollector()
+        for value in (10, 10, 20, 40):
+            stats.observe("lat", value)
+        summary = stats.histogram_summary("lat")
+        assert summary == {
+            "count": 4.0,
+            "mean": 20.0,
+            "p50": 10.0,
+            "p95": 40.0,
+            "p99": 40.0,
+            "max": 40.0,
+        }
+        empty = stats.histogram_summary("missing")
+        assert set(empty) == set(summary)
+        assert all(value == 0.0 for value in empty.values())
+
     def test_snapshot_and_delta(self):
         stats = StatsCollector()
         stats.add("x", 5)

@@ -1,0 +1,359 @@
+"""Tests for the telemetry subsystem: trace recorder, trace validation,
+windowed metrics sampler, and host-side profiler."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.engine import Simulator
+from repro.stats import StatsCollector
+from repro.telemetry import (
+    MetricsSampler,
+    SimProfiler,
+    TelemetryConfig,
+    TraceRecorder,
+    component_of,
+    derive_window,
+    trace_errors,
+    validate_trace,
+    windows_total,
+)
+from repro.telemetry.trace import (
+    PID_CONTROL,
+    PID_STREAMS,
+    TID_FAULTS,
+    WAVE_LANE_STRIDE,
+)
+
+
+class FakeSim:
+    """Just enough simulator for the recorder: a settable clock."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+
+class TestTelemetryConfig:
+    def test_disabled_by_default(self):
+        config = TelemetryConfig()
+        assert not config.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"trace": True}, {"metrics_interval": 100}, {"profile": True}],
+    )
+    def test_any_observer_enables(self, kwargs):
+        assert TelemetryConfig(**kwargs).enabled
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(metrics_interval=-1)
+
+    def test_rejects_nonpositive_event_cap(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(max_trace_events=0)
+
+
+class TestTraceRecorder:
+    def test_kernel_span(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.kernel_started(0, 3, "gemm")
+        sim.now = 500
+        recorder.kernel_finished(0)
+        (span,) = recorder.spans("kernel")
+        assert span["name"] == "gemm"
+        assert span["ts"] == 0 and span["dur"] == 500
+        assert span["pid"] == PID_STREAMS and span["tid"] == 0
+        assert span["args"]["kernel_index"] == 3
+
+    def test_interrupted_kernel_is_flagged(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.kernel_started(1, 0, "k")
+        sim.now = 10
+        recorder.kernel_interrupted(1)
+        (span,) = recorder.spans("kernel")
+        assert span["args"]["interrupted"] is True
+
+    def test_finish_closes_open_spans(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.kernel_started(0, 0, "k")
+        recorder.wavefront_started(7, cu_id=2, stream_id=0, kernel_id=0)
+        sim.now = 99
+        recorder.finish(99)
+        kernels = recorder.spans("kernel")
+        waves = recorder.spans("wavefront")
+        assert len(kernels) == 1 and kernels[0]["args"]["interrupted"] is True
+        assert len(waves) == 1 and waves[0]["args"]["open_at_finish"] is True
+        assert not trace_errors(recorder.to_dict())
+
+    def test_concurrent_wavefronts_get_separate_lanes(self):
+        # wavefronts overlap in time on one CU; each must land on its own
+        # lane row or the X-spans could not nest
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.wavefront_started(1, cu_id=0, stream_id=0, kernel_id=0)
+        sim.now = 10
+        recorder.wavefront_started(2, cu_id=0, stream_id=0, kernel_id=0)
+        sim.now = 50
+        recorder.wavefront_finished(1)
+        sim.now = 80
+        recorder.wavefront_finished(2)
+        spans = recorder.spans("wavefront")
+        tids = {span["tid"] for span in spans}
+        assert len(tids) == 2
+        assert not trace_errors(recorder.to_dict())
+
+    def test_lane_is_reused_after_release(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.wavefront_started(1, cu_id=3, stream_id=0, kernel_id=0)
+        sim.now = 5
+        recorder.wavefront_finished(1)
+        recorder.wavefront_started(2, cu_id=3, stream_id=0, kernel_id=0)
+        sim.now = 9
+        recorder.wavefront_finished(2)
+        spans = recorder.spans("wavefront")
+        assert [span["tid"] for span in spans] == [3 * WAVE_LANE_STRIDE] * 2
+
+    def test_degraded_interval_union(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        sim.now = 100
+        recorder.degraded_begin()
+        sim.now = 150
+        recorder.degraded_begin()  # nested activation: no new interval
+        sim.now = 400
+        recorder.degraded_end()
+        (span,) = recorder.spans("fault")
+        assert span["ts"] == 100 and span["dur"] == 300
+        assert span["pid"] == PID_CONTROL and span["tid"] == TID_FAULTS
+        assert recorder.degraded_span_cycles() == 300
+
+    def test_degraded_end_without_begin_is_noop(self):
+        recorder = TraceRecorder(FakeSim())
+        recorder.degraded_end()
+        assert recorder.events == []
+
+    def test_truncation_cap(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim, max_events=2)
+        for index in range(5):
+            recorder.kernel_boundary(index)
+        assert len(recorder.events) == 2
+        assert recorder.truncated
+        assert recorder.to_dict()["otherData"]["truncated"] is True
+
+    def test_to_dict_carries_process_metadata(self):
+        sim = FakeSim()
+        recorder = TraceRecorder(sim)
+        recorder.set_topology(num_devices=2, cus_per_device=4)
+        recorder.wavefront_started(1, cu_id=5, stream_id=0, kernel_id=0)
+        recorder.wavefront_finished(1)
+        blob = recorder.to_dict()
+        names = {
+            event["args"]["name"]
+            for event in blob["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert {"streams", "device0", "device1"} <= names
+        # cu 5 belongs to device 1 with 4 CUs per device
+        (span,) = recorder.spans("wavefront")
+        assert span["pid"] == 10 + 1
+        assert not trace_errors(blob)
+
+
+class TestTraceValidation:
+    def test_rejects_non_object(self):
+        assert trace_errors([1, 2]) != []
+        assert trace_errors({"noTraceEvents": 1}) != []
+
+    def _event(self, **overrides):
+        event = {"name": "e", "cat": "c", "ph": "X", "ts": 0, "dur": 5,
+                 "pid": 1, "tid": 1}
+        event.update(overrides)
+        return event
+
+    def test_valid_nested_spans(self):
+        blob = {"traceEvents": [
+            self._event(ts=0, dur=100),
+            self._event(name="inner", ts=10, dur=20),
+            self._event(name="after", ts=200, dur=5),
+        ]}
+        assert trace_errors(blob) == []
+        validate_trace(blob)  # must not raise
+
+    def test_negative_duration(self):
+        blob = {"traceEvents": [self._event(dur=-1)]}
+        errors = trace_errors(blob)
+        assert any("negative" in error for error in errors)
+        with pytest.raises(ValueError):
+            validate_trace(blob)
+
+    def test_overlap_without_nesting(self):
+        blob = {"traceEvents": [
+            self._event(ts=0, dur=100),
+            self._event(name="straddler", ts=50, dur=100),
+        ]}
+        errors = trace_errors(blob)
+        assert any("overlap" in error for error in errors)
+
+    def test_overlap_on_different_rows_is_fine(self):
+        blob = {"traceEvents": [
+            self._event(ts=0, dur=100, tid=1),
+            self._event(ts=50, dur=100, tid=2),
+        ]}
+        assert trace_errors(blob) == []
+
+    def test_missing_keys_and_unknown_phase(self):
+        assert any(
+            "missing" in error
+            for error in trace_errors({"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]})
+        )
+        assert any(
+            "unknown phase" in error
+            for error in trace_errors({"traceEvents": [self._event(ph="Z")]})
+        )
+        assert any(
+            "ts" in error
+            for error in trace_errors({"traceEvents": [self._event(ts="soon")]})
+        )
+
+    def test_metadata_events_need_no_timestamp(self):
+        blob = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "streams"}},
+        ]}
+        assert trace_errors(blob) == []
+
+
+class TestMetricsSampler:
+    def test_rejects_nonpositive_interval(self, sim, stats):
+        with pytest.raises(ValueError):
+            MetricsSampler(sim, stats, 0)
+
+    def test_windows_sum_to_final_counters(self, sim, stats):
+        sampler = MetricsSampler(sim, stats, interval_cycles=100)
+        stats.add("setup.work", 7)  # pre-start counters land in window 0
+        active = [True]
+
+        def work(amount):
+            stats.add("run.work", amount)
+
+        for tick in range(1, 6):
+            sim.schedule(tick * 60, functools.partial(work, tick))
+        sim.schedule(360, lambda: active.__setitem__(0, False))
+        sampler.start(lambda: active[0])
+        sim.on_finish(sampler.finalize)
+        sim.run()
+
+        assert len(sampler.windows) >= 2
+        assert windows_total(sampler.windows) == stats.counters()
+        # windows tile the run: contiguous, ordered, no gaps
+        edges = [(w["start"], w["end"]) for w in sampler.windows]
+        assert edges[0][0] == 0
+        for (_, prev_end), (start, _) in zip(edges, edges[1:]):
+            assert start == prev_end
+
+    def test_finalize_forces_one_window(self, sim, stats):
+        sampler = MetricsSampler(sim, stats, interval_cycles=1000)
+        sampler.finalize(0)
+        assert len(sampler.windows) == 1
+        assert sampler.windows[0]["counters"] == {}
+
+    def test_double_start_rejected(self, sim, stats):
+        sampler = MetricsSampler(sim, stats, interval_cycles=10)
+        sampler.start(lambda: False)
+        with pytest.raises(RuntimeError):
+            sampler.start(lambda: False)
+
+    def test_derive_window_signals(self):
+        window = {
+            "start": 0,
+            "end": 100,
+            "counters": {
+                "l1.accesses": 10, "l1.hits": 5,
+                "l2.accesses": 8, "l2.hits": 2,
+                "topo.remote_requests": 3, "topo.local_requests": 9,
+                "l2.blocked_mshr_full": 4, "l2.mshr_coalesced": 6,
+                "gpu.mem_requests": 10,
+                "stream0.mem_requests": 7, "stream1.mem_requests": 3,
+            },
+        }
+        derived = derive_window(window)
+        assert derived["l1_hit_rate"] == pytest.approx(0.5)
+        assert derived["l2_hit_rate"] == pytest.approx(0.25)
+        assert derived["remote_fraction"] == pytest.approx(0.25)
+        assert derived["mshr_blocked"] == 4
+        assert derived["stream_traffic"] == {0: 7, 1: 3}
+
+    def test_derive_window_empty_ratios(self):
+        derived = derive_window({"start": 0, "end": 1, "counters": {}})
+        assert derived["l1_hit_rate"] == 0.0
+        assert derived["remote_fraction"] == 0.0
+        with pytest.raises(ValueError):
+            derive_window({"start": 0, "end": 1})
+
+
+class TestProfiler:
+    def test_component_of_bound_method(self):
+        stats = StatsCollector()
+        assert component_of(stats.snapshot) == "StatsCollector"
+
+    def test_component_of_partial_unwraps(self):
+        stats = StatsCollector()
+        assert component_of(functools.partial(stats.add, "x", 1)) == "StatsCollector"
+
+    def test_component_of_closure_uses_qualname(self):
+        def outer():
+            def inner():
+                pass
+
+            return inner
+
+        name = component_of(outer())
+        assert name == "TestProfiler" or name.startswith("test_component")
+
+    def test_profiled_run_matches_plain_run(self, stats):
+        def drive(sim: Simulator) -> None:
+            def work(amount):
+                stats.add("w", amount)
+                if amount < 5:
+                    sim.schedule(10, functools.partial(work, amount + 1))
+
+            sim.schedule(0, functools.partial(work, 1))
+
+        plain = Simulator()
+        drive(plain)
+        plain_final = plain.run()
+        plain_executed = plain.queue.executed
+
+        profiled = Simulator()
+        profiler = SimProfiler()
+        profiled.profiler = profiler
+        drive(profiled)
+        assert profiled.run() == plain_final
+        assert profiled.queue.executed == plain_executed
+        assert profiler.events == plain_executed
+        assert profiler.wall_seconds > 0
+
+    def test_summary_shares(self):
+        profiler = SimProfiler()
+        profiler.record(StatsCollector().snapshot, 0.75)
+        profiler.record(str.strip.__get__("x"), 0.25)
+        profiler.add_wall(2.0)
+        summary = profiler.summary()
+        assert summary["events"] == 2
+        assert summary["events_per_second"] == pytest.approx(1.0)
+        assert summary["components"][0]["component"] == "StatsCollector"
+        assert summary["components"][0]["share"] == pytest.approx(0.75)
+
+    def test_empty_profiler_summary(self):
+        summary = SimProfiler().summary()
+        assert summary["events"] == 0
+        assert summary["events_per_second"] == 0.0
+        assert summary["components"] == []
