@@ -1,36 +1,44 @@
-"""Core events/sec smoke benchmarks with committed regression guards.
+"""Core events/sec smoke benchmarks with a statistical regression sentinel.
 
 Runs one fixed, deterministic reference simulation (the CM composed model
-at scale 1.0 on the 4-CU system under CacheRW) and records raw event
-throughput to ``BENCH_core_run.json`` at the repository root, so the
-performance trajectory of the simulation core is tracked from PR 2 onward
-(CI uploads the file as an artifact).  A second smoke replays the same
-workload split across two devices through the multi-device topology path
-(record: ``BENCH_topology_run.json``; committed baseline: the
-``topology`` key of ``BENCH_core.json``).
+at scale 1.0 on the 4-CU system under CacheRW) through
+:func:`repro.obs.bench.measure_core_throughput` -- a median-of-N
+measurement (``REPRO_BENCH_SAMPLES``, default 3) instead of the old
+single-sample/best-of-2, so one scheduler hiccup can no longer masquerade
+as a regression or hide one.  A second smoke replays the same workload
+split across two devices through the multi-device topology path.
 
-The baseline constant below is the throughput of the *pre-overhaul* core
-(dataclass heap events, f-string counters, linear tag scans) measured on
-the same reference run, single-core container, CPython 3.11.  The PR-2
-hot-path overhaul (tuple-heap event queue, pre-bound counter handles,
-indexed tag lookup) targets >= 2x that number; the hard assertion uses a
-lower floor so unlucky machine noise cannot fail CI, while the recorded
-JSON keeps the honest ratio.
+Two regression gates guard the core number, both evaluated by
+:func:`repro.stats.regression.check_regression`:
 
-**Regression guard**: ``BENCH_core.json`` is committed and read-only from
-this test's point of view -- it holds the reference-container baseline
-(``regression_baseline``).  Each run writes its own measurement to the
-gitignored ``BENCH_core_run.json`` (CI uploads it as the trajectory
-artifact) and must stay within ``REPRO_BENCH_MAX_REGRESSION`` (default
-25%) of the committed baseline, so a PR that quietly slows the hot paths
-fails here without ever dirtying the working tree.  On hardware unlike
-the reference container set ``REPRO_BENCH_MAX_REGRESSION=0`` to disable
-the guard (the record is still written), or commit a re-measured
-baseline.
+* **committed flat gate** -- the *fastest* repetition must stay within
+  ``REPRO_BENCH_MAX_REGRESSION`` (default 25%) of the committed
+  reference-container baseline in ``BENCH_core.json``.  The run is
+  deterministic, so the fastest sample measures the code and slower ones
+  measure host interference -- judging the best keeps a loaded tier-1
+  host from flaking the gate.  That file is read-only from this test's
+  point of view; on hardware unlike the reference container set
+  ``REPRO_BENCH_MAX_REGRESSION=0`` to disable the gate, or commit a
+  re-measured baseline.
+* **robust history gate** -- every run appends its *median* measurement
+  to the
+  gitignored ``BENCH_history.jsonl`` (``REPRO_BENCH_HISTORY`` overrides
+  the path; CI uploads it as the trajectory artifact).  Once at least 5
+  comparable samples have accumulated, the measurement must stay above
+  ``median - k * 1.4826 * MAD`` of the history (``k`` =
+  ``REPRO_BENCH_MAD_FACTOR``, default 4.0) -- a gate that tightens itself
+  to this machine's real noise floor instead of a guessed percentage,
+  and that a single outlier sample cannot corrupt (median and MAD both
+  have a 50% breakdown point).  History recorded under a different event
+  count (i.e. an older model) is ignored automatically, so a model
+  change starts a fresh history rather than comparing unlike runs.
 
-The reference run must stay fixed.  If it has to change (e.g. a model
-change alters the event count), re-measure the baseline and update both
-constants in the same commit.
+The per-run ``BENCH_core_run.json`` / ``BENCH_topology_run.json`` records
+are still written (CI uploads them), and the opt-in
+``REPRO_BENCH_MIN_SPEEDUP`` gate versus the pre-overhaul PR-2 baseline is
+preserved.  The reference run must stay fixed; if it has to change (e.g.
+a model change alters the event count), re-measure the committed baseline
+in the same commit -- the history gate re-arms itself.
 """
 
 from __future__ import annotations
@@ -44,6 +52,17 @@ from pathlib import Path
 
 from repro.config import scaled_config
 from repro.core.policies import CACHE_RW
+from repro.obs.bench import (
+    REFERENCE_CUS,
+    REFERENCE_SCALE,
+    REFERENCE_WORKLOAD,
+    append_history,
+    committed_baseline,
+    default_history_path,
+    evaluate_measurement,
+    load_history,
+    measure_core_throughput,
+)
 from repro.session import SimulationSession
 from repro.topology import TopologyConfig
 from repro.workloads.registry import get_workload
@@ -52,12 +71,8 @@ from repro.workloads.registry import get_workload
 #: median of 3 runs on the single-core reference container (2026-07-28)
 BASELINE_EVENTS_PER_SEC = 131_000
 
-#: events executed by the reference run with the current model semantics;
-#: purely informational in the JSON (behaviour is pinned by
-#: tests/integration/test_core_equivalence.py, not here)
-REFERENCE_WORKLOAD = "CM"
-REFERENCE_SCALE = 1.0
-REFERENCE_CUS = 4
+#: timed repetitions per measurement; the median is the number judged
+SAMPLES = max(1, int(os.environ.get("REPRO_BENCH_SAMPLES", "3")))
 
 #: opt-in speedup gate.  The baseline is an absolute number measured on
 #: one reference container, so a hard default gate would fail tier-1 on
@@ -73,6 +88,12 @@ MIN_EVENTS_PER_SEC = 20_000
 
 #: allowed slowdown versus the committed regression baseline (0 disables)
 MAX_REGRESSION = float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "0.25"))
+
+#: robust-floor width: fail below history median - K * 1.4826 * MAD
+MAD_FACTOR = float(os.environ.get("REPRO_BENCH_MAD_FACTOR", "4.0"))
+
+#: history samples needed before the MAD gate arms
+MIN_HISTORY = 5
 
 #: committed reference-container baseline (never written by this test)
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_core.json"
@@ -100,39 +121,38 @@ def _committed_record() -> dict:
         return {}
 
 
-def _reference_session() -> SimulationSession:
-    return SimulationSession(policy=CACHE_RW, config=scaled_config(REFERENCE_CUS))
-
-
 def test_core_events_per_second():
-    trace = get_workload(REFERENCE_WORKLOAD, scale=REFERENCE_SCALE).build_trace()
+    history_path = default_history_path()
+    # the gate judges the new measurement against what came *before* it
+    prior_history = load_history(history_path)
 
-    # one short warm-up run so allocator/import effects don't bias the timing
-    warmup = SimulationSession(policy=CACHE_RW, config=scaled_config(2))
-    warmup.run(get_workload(REFERENCE_WORKLOAD, scale=0.1))
+    measurement = measure_core_throughput(samples=SAMPLES)
+    append_history(history_path, measurement)
 
-    # best-of-2: the run is deterministic, so the faster repetition is the
-    # one with less scheduler/allocator noise (standard benchmark practice)
-    elapsed = None
-    for _ in range(2):
-        session = _reference_session()
-        start = time.perf_counter()
-        cycles = session.run(trace).cycles
-        attempt = time.perf_counter() - start
-        events = session.sim.queue.executed
-        if elapsed is None or attempt < elapsed:
-            elapsed = attempt
-
-    events_per_sec = events / elapsed
+    events_per_sec = measurement.events_per_sec
     speedup = events_per_sec / BASELINE_EVENTS_PER_SEC
-
-    committed = _committed_record()
-    regression_baseline = committed.get("regression_baseline") or committed.get(
-        "events_per_sec"
+    # the run is deterministic, so the committed flat gate judges the
+    # fastest repetition (machine capability -- a loaded tier-1 host
+    # can't flake it), while the history MAD gate judges the median (the
+    # typical run, which is what the history records and what its noise
+    # floor is calibrated to)
+    flat_verdict = evaluate_measurement(
+        measurement.best_events_per_sec,
+        baseline=committed_baseline(BENCH_PATH) if MAX_REGRESSION > 0 else None,
+        max_regression=MAX_REGRESSION,
     )
+    history_verdict = evaluate_measurement(
+        events_per_sec,
+        history=prior_history,
+        baseline=None,
+        mad_factor=MAD_FACTOR,
+        min_history=MIN_HISTORY,
+    )
+    verdict_ok = flat_verdict.ok and history_verdict.ok
+    verdict_reasons = flat_verdict.reasons + history_verdict.reasons
 
     record = {
-        "schema": 1,
+        "schema": 2,
         "benchmark": "core_events_per_second",
         "reference": {
             "workload": REFERENCE_WORKLOAD,
@@ -140,27 +160,36 @@ def test_core_events_per_second():
             "num_cus": REFERENCE_CUS,
             "policy": CACHE_RW.name,
         },
-        "events": events,
-        "cycles": cycles,
-        "seconds": round(elapsed, 4),
+        "events": measurement.events,
+        "cycles": measurement.cycles,
+        "samples": measurement.samples,
+        "seconds": [round(s, 4) for s in measurement.seconds],
+        "median_seconds": round(measurement.median_seconds, 4),
         "events_per_sec": round(events_per_sec),
+        "best_events_per_sec": round(measurement.best_events_per_sec),
         "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
         "speedup_vs_baseline": round(speedup, 2),
-        # null when no committed BENCH_core.json was found: the field means
-        # "the reference-container baseline", never this machine's own run
-        "regression_baseline": regression_baseline,
+        "verdict": {
+            "ok": verdict_ok,
+            "reasons": verdict_reasons,
+            "flat": flat_verdict.as_dict(),
+            "history": history_verdict.as_dict(),
+        },
+        "history_path": str(history_path),
+        "history_samples": len(prior_history),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "argv": sys.argv[:1],
     }
     BENCH_RUN_PATH.write_text(json.dumps(record, indent=1) + "\n")
     print(
-        f"\ncore perf smoke: {events} events in {elapsed:.3f}s = "
-        f"{events_per_sec:,.0f} events/sec ({speedup:.2f}x baseline), "
+        f"\ncore perf smoke: {measurement.events} events, median of "
+        f"{measurement.samples} samples = {events_per_sec:,.0f} events/sec "
+        f"({speedup:.2f}x baseline), history n={len(prior_history)}, "
         f"recorded to {BENCH_RUN_PATH.name}"
     )
 
-    assert events > 0 and cycles > 0
+    assert measurement.events > 0 and measurement.cycles > 0
     assert events_per_sec >= MIN_EVENTS_PER_SEC, (
         f"core throughput collapsed: {events_per_sec:,.0f} events/sec is below "
         f"the {MIN_EVENTS_PER_SEC:,} sanity floor; see {BENCH_RUN_PATH}"
@@ -171,15 +200,12 @@ def test_core_events_per_second():
             f"{speedup:.2f}x the pre-overhaul baseline of {BASELINE_EVENTS_PER_SEC:,} "
             f"(enforced floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
         )
-    if MAX_REGRESSION > 0 and regression_baseline:
-        floor = regression_baseline * (1.0 - MAX_REGRESSION)
-        assert events_per_sec >= floor, (
-            f"core throughput regressed more than {MAX_REGRESSION:.0%} vs the "
-            f"committed baseline: {events_per_sec:,.0f} events/sec < "
-            f"{floor:,.0f} (baseline {regression_baseline:,}); if this machine "
-            "is simply slower than the reference container, set "
-            "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured BENCH_core.json"
-        )
+    assert verdict_ok, (
+        "core throughput regressed: " + "; ".join(verdict_reasons) + "; if this "
+        "machine is simply slower than the reference container, set "
+        "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured BENCH_core.json "
+        f"(history: {history_path})"
+    )
 
 
 def test_topology_events_per_second():
@@ -190,7 +216,10 @@ def test_topology_events_per_second():
     arithmetic per slice-bound access, so per-event throughput sits close
     to the single-device number; this guard (baseline under the
     ``topology`` key of BENCH_core.json) catches a slice-routing change
-    that accidentally turns the fabric into an event storm.
+    that accidentally turns the fabric into an event storm.  Judged by the
+    same committed flat gate as the core smoke (median of SAMPLES reps);
+    no history gate -- one robust trajectory is enough, and the topology
+    number tracks the core number.
     """
     trace = get_workload(REFERENCE_WORKLOAD, scale=REFERENCE_SCALE).build_trace()
     topology = TopologyConfig(num_devices=TOPOLOGY_DEVICES)
@@ -204,22 +233,35 @@ def test_topology_events_per_second():
 
     session().run(get_workload(REFERENCE_WORKLOAD, scale=0.1))  # warm-up
 
-    elapsed = None
-    for _ in range(2):
+    seconds = []
+    events = cycles = 0
+    for index in range(SAMPLES):
         run = session()
         start = time.perf_counter()
-        cycles = run.run(trace).cycles
-        attempt = time.perf_counter() - start
-        events = run.sim.queue.executed
-        if elapsed is None or attempt < elapsed:
-            elapsed = attempt
+        report = run.run(trace)
+        seconds.append(time.perf_counter() - start)
+        if index == 0:
+            events, cycles = run.sim.queue.executed, report.cycles
+        else:
+            assert run.sim.queue.executed == events and report.cycles == cycles, (
+                "the reference topology run went nondeterministic between samples"
+            )
+    median_seconds = sorted(seconds)[len(seconds) // 2]
+    events_per_sec = events / median_seconds
+    best_events_per_sec = events / min(seconds)
 
-    events_per_sec = events / elapsed
     committed = _committed_record().get("topology", {})
     regression_baseline = committed.get("regression_baseline")
+    # as with the core smoke, the flat gate judges the fastest repetition
+    # so a loaded tier-1 host cannot flake a deterministic run
+    verdict = evaluate_measurement(
+        best_events_per_sec,
+        baseline=regression_baseline if MAX_REGRESSION > 0 else None,
+        max_regression=MAX_REGRESSION,
+    )
 
     record = {
-        "schema": 1,
+        "schema": 2,
         "benchmark": "topology_events_per_second",
         "reference": {
             "workload": REFERENCE_WORKLOAD,
@@ -230,16 +272,19 @@ def test_topology_events_per_second():
         },
         "events": events,
         "cycles": cycles,
-        "seconds": round(elapsed, 4),
+        "samples": SAMPLES,
+        "seconds": [round(s, 4) for s in seconds],
+        "median_seconds": round(median_seconds, 4),
         "events_per_sec": round(events_per_sec),
-        "regression_baseline": regression_baseline,
+        "best_events_per_sec": round(best_events_per_sec),
+        "verdict": verdict.as_dict(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "argv": sys.argv[:1],
     }
     BENCH_TOPOLOGY_RUN_PATH.write_text(json.dumps(record, indent=1) + "\n")
     print(
-        f"\ntopology perf smoke: {events} events in {elapsed:.3f}s = "
+        f"\ntopology perf smoke: {events} events, median of {SAMPLES} samples = "
         f"{events_per_sec:,.0f} events/sec on {TOPOLOGY_DEVICES} devices, "
         f"recorded to {BENCH_TOPOLOGY_RUN_PATH.name}"
     )
@@ -249,12 +294,8 @@ def test_topology_events_per_second():
         f"multi-device throughput collapsed: {events_per_sec:,.0f} events/sec is "
         f"below the {MIN_EVENTS_PER_SEC:,} sanity floor; see {BENCH_TOPOLOGY_RUN_PATH}"
     )
-    if MAX_REGRESSION > 0 and regression_baseline:
-        floor = regression_baseline * (1.0 - MAX_REGRESSION)
-        assert events_per_sec >= floor, (
-            f"multi-device throughput regressed more than {MAX_REGRESSION:.0%} vs "
-            f"the committed baseline: {events_per_sec:,.0f} events/sec < "
-            f"{floor:,.0f} (baseline {regression_baseline:,}); if this machine "
-            "is simply slower than the reference container, set "
-            "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured baseline"
-        )
+    assert verdict.ok, (
+        "multi-device throughput regressed: " + "; ".join(verdict.reasons)
+        + "; if this machine is simply slower than the reference container, set "
+        "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured baseline"
+    )

@@ -29,6 +29,21 @@ Installed as ``repro-gpu-cache`` (see ``pyproject.toml``) and runnable as
 * ``table``     -- print Table 1 (system configuration) or Table 2 (workloads).
 * ``cache``     -- persistent result-store lifecycle: ``stats``, ``clear``,
   ``prune --max-age-days N``.
+* ``ledger``    -- cross-run provenance registry: ``list`` recent runs,
+  ``show`` one entry, ``prune`` old ones.  Runs and sweeps append to it via
+  ``--ledger`` (or ``$REPRO_LEDGER``).
+* ``diff``      -- counter-for-counter comparison of two runs (report files,
+  store fingerprints or ledger references); ``--fail-on-drift`` for CI.
+* ``bench``     -- the regression sentinel: ``record`` a median-of-N
+  throughput measurement into ``BENCH_history.jsonl``, ``check`` it against
+  the committed baseline and the history's robust (median - k*MAD) floor.
+
+``--alerts`` (on ``run``/``serve``/``faults``/``trace``) runs the anomaly
+detectors -- L2 hit-rate cliffs, per-tenant starvation under shared
+dispatch, availability-budget breaches -- over the run and surfaces the
+findings in the report/summary.  ``--log-level``/``--log-file``/
+``--log-json`` enable run-scoped structured logging (executor retries,
+fault strikes); logging is off by default and changes no results.
 
 The global ``--jobs N`` flag fans independent simulations out across ``N``
 worker processes, and ``--cache-dir`` points sweeps at a persistent result
@@ -43,6 +58,8 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.adaptive import AdaptiveConfig
@@ -97,6 +114,22 @@ from repro.experiments.resilience import (
 from repro.experiments.store import ResultStore, default_cache_dir
 from repro.faults import FAULT_PLAN_NAMES, FAULT_PLANS, fault_plan_by_name
 from repro.ioutil import atomic_write_json
+from repro.log import configure as configure_logging
+from repro.obs import (
+    AlertConfig,
+    ObsConfig,
+    RunLedger,
+    append_history,
+    committed_baseline,
+    default_history_path,
+    diff_reports,
+    evaluate_measurement,
+    load_history,
+    measure_core_throughput,
+    render_diff_markdown,
+    render_diff_table,
+    resolve_report,
+)
 from repro.session import SimulationSession, simulate
 from repro.telemetry import TelemetryConfig, validate_trace
 from repro.streams import MIX_NAMES, SERVING_MIXES, mix_by_name
@@ -167,6 +200,13 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         help="write executor telemetry (per-job wall times, worker "
         "utilization, store hits, retries) as JSON",
     )
+    parser.add_argument(
+        "--ledger",
+        default=argparse.SUPPRESS,
+        metavar="FILE",
+        help="append provenance entries for every simulated cell (plus a "
+        "sweep aggregate) to this JSONL run ledger",
+    )
 
 
 def _add_trace_options(parser: argparse.ArgumentParser, replay: bool = False) -> None:
@@ -191,6 +231,12 @@ def _add_trace_options(parser: argparse.ArgumentParser, replay: bool = False) ->
             if replay
             else "(attached to the report's 'metrics' field)"
         ),
+    )
+    parser.add_argument(
+        "--alerts", action="store_true",
+        help=f"run the anomaly detectors (hit-rate cliffs, tenant "
+        f"starvation, availability breaches) over {target} and surface "
+        "the findings (implies windowed metrics sampling)",
     )
 
 
@@ -243,6 +289,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write executor telemetry (per-job wall times, worker "
         "utilization, store hits, retries) as JSON",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append run/job provenance entries to this JSONL run ledger "
+        "(inspect with the 'ledger' subcommand)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable run-scoped structured logging at this severity "
+        "(default: logging off; results are identical either way)",
+    )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="FILE",
+        help="append structured log lines to FILE (implies --log-level info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="structured log lines as JSON objects, one per line",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
@@ -261,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate on a registered multi-device topology",
     )
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
+    run.add_argument(
+        "--ledger", default=argparse.SUPPRESS, metavar="FILE",
+        help="append this run's provenance entry to the JSONL run ledger",
+    )
     _add_trace_options(run)
 
     sweep = subparsers.add_parser("sweep", help="compare several policies on one workload")
@@ -478,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--json", action="store_true", help="emit the run summary as JSON"
     )
+    trace.add_argument(
+        "--ledger", default=argparse.SUPPRESS, metavar="FILE",
+        help="append this run's provenance entry to the JSONL run ledger",
+    )
+    trace.add_argument(
+        "--alerts", action="store_true",
+        help="run the anomaly detectors over the traced run and surface "
+        "the findings (alerts also land on the trace timeline)",
+    )
 
     cache = subparsers.add_parser(
         "cache", help="persistent result-store lifecycle (stats/clear/prune)"
@@ -499,6 +583,92 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = subparsers.add_parser("table", help="print Table 1 or Table 2")
     table.add_argument("number", choices=["1", "2"])
+
+    ledger = subparsers.add_parser(
+        "ledger", help="cross-run provenance ledger (list/show/prune)"
+    )
+    ledger.add_argument("action", choices=["list", "show", "prune"])
+    ledger.add_argument(
+        "ref", nargs="?", default="-1",
+        help="show: entry reference -- an index (-1 is the newest, 0 the "
+        "oldest) or a fingerprint hex prefix (default: -1)",
+    )
+    ledger.add_argument(
+        "--ledger", default=argparse.SUPPRESS, metavar="FILE",
+        help="ledger file (default: $REPRO_LEDGER or <cache dir>/ledger.jsonl)",
+    )
+    ledger.add_argument(
+        "--count", type=int, default=10, metavar="N",
+        help="list: how many recent entries to show (default: 10)",
+    )
+    ledger.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="prune: retain only the newest N entries",
+    )
+    ledger.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="prune: drop entries older than this many days",
+    )
+    ledger.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    diff = subparsers.add_parser(
+        "diff", help="counter-for-counter comparison of two runs"
+    )
+    diff.add_argument(
+        "ref_a", metavar="A",
+        help="run reference: a report JSON file, a store fingerprint "
+        "(unique prefix), or a ledger index/fingerprint",
+    )
+    diff.add_argument("ref_b", metavar="B", help="second run reference (same forms)")
+    diff.add_argument(
+        "--threshold", type=float, default=0.0, metavar="FRAC",
+        help="only list counters whose relative change is at least FRAC "
+        "(default: 0, list every changed counter)",
+    )
+    diff.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit 1 unless the runs are counter-for-counter identical (CI gate)",
+    )
+    diff_format = diff.add_mutually_exclusive_group()
+    diff_format.add_argument("--json", action="store_true", help="emit the diff as JSON")
+    diff_format.add_argument(
+        "--markdown", action="store_true", help="emit the diff as Markdown tables"
+    )
+    _add_executor_options(diff)
+
+    bench = subparsers.add_parser(
+        "bench", help="throughput regression sentinel (record/check)"
+    )
+    bench.add_argument("action", choices=["record", "check"])
+    bench.add_argument(
+        "--samples", type=int, default=3, metavar="N",
+        help="timed repetitions; the median is the measurement (default: 3)",
+    )
+    bench.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="bench history file (default: $REPRO_BENCH_HISTORY or "
+        "BENCH_history.jsonl at the repo root)",
+    )
+    bench.add_argument(
+        "--use-last", action="store_true",
+        help="check: judge the newest recorded history entry instead of "
+        "re-measuring",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="flat floor: fail below (1 - FRAC) x the committed baseline "
+        "(default: 0.25)",
+    )
+    bench.add_argument(
+        "--mad-factor", type=float, default=4.0, metavar="K",
+        help="robust floor: fail below history median - K * 1.4826 * MAD "
+        "(default: 4.0)",
+    )
+    bench.add_argument(
+        "--min-history", type=int, default=5, metavar="N",
+        help="history samples needed before the MAD gate arms (default: 5)",
+    )
+    bench.add_argument("--json", action="store_true", help="emit the verdict as JSON")
 
     return parser
 
@@ -532,6 +702,7 @@ def _runner(
         cache_dir=_cache_dir(args),
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
 
 
@@ -539,9 +710,43 @@ def _telemetry_config(args: argparse.Namespace, profile: bool = False) -> Teleme
     """The :class:`TelemetryConfig` the run-level flags request (or None)."""
     trace_out = getattr(args, "trace_out", None)
     interval = getattr(args, "metrics_interval", None) or 0
+    if not interval and getattr(args, "alerts", False):
+        # the anomaly detectors read windowed metrics, so --alerts without
+        # an explicit --metrics-interval gets the detectors' default cadence
+        interval = AlertConfig().default_metrics_interval
     if not trace_out and not interval and not profile:
         return None
     return TelemetryConfig(trace=bool(trace_out), metrics_interval=interval, profile=profile)
+
+
+def _obs_config(args: argparse.Namespace) -> ObsConfig | None:
+    """The :class:`ObsConfig` the run-level flags request (or None)."""
+    ledger = getattr(args, "ledger", None)
+    alerts = AlertConfig() if getattr(args, "alerts", False) else None
+    if ledger is None and alerts is None:
+        return None
+    return ObsConfig(ledger_path=ledger, alerts=alerts)
+
+
+def _print_alerts(report, command: str) -> None:
+    """Surface fired anomaly detectors on stderr (stdout stays clean)."""
+    if not report.alerts:
+        print(f"[{command}] alerts: none fired", file=sys.stderr)
+        return
+    for alert in report.alerts:
+        stream = f" stream={alert['stream']}" if "stream" in alert else ""
+        print(
+            f"[{command}] ALERT {alert['severity']}: {alert['kind']} "
+            f"@cycle {alert['cycle']}{stream} -- {alert['message']}",
+            file=sys.stderr,
+        )
+
+
+def _format_ts(ts: object) -> str:
+    """Ledger timestamp as local wall-clock minutes (or a dash ruler)."""
+    if not isinstance(ts, (int, float)):
+        return "-" * 16
+    return time.strftime("%Y-%m-%d %H:%M", time.localtime(ts))
 
 
 def _write_trace(path: str, session: SimulationSession, command: str) -> None:
@@ -568,10 +773,25 @@ def _write_trace(path: str, session: SimulationSession, command: str) -> None:
         + (" (truncated)" if recorder.truncated else ""),
         file=sys.stderr,
     )
+    if recorder.truncated:
+        print(
+            f"[{command}] warning: the trace hit the {recorder.max_events}-event "
+            "cap and later events were dropped; reduce --scale or trace a "
+            "narrower run for a complete timeline",
+            file=sys.stderr,
+        )
 
 
 def _write_executor_telemetry(args: argparse.Namespace, runner: ExperimentRunner) -> None:
-    """Write the ``--telemetry-out`` executor artifact, when requested."""
+    """Write the ``--telemetry-out`` executor artifact, when requested.
+
+    Also the single point where a ledger-carrying sweep appends its
+    aggregate entry (store hit-rate, worker utilization, retry pressure) --
+    every sweep-style command funnels through here after its grid runs.
+    """
+    executor = runner.executor
+    if getattr(executor, "ledger", None) is not None:
+        executor.record_sweep(label=args.command, workers=args.jobs)
     path = getattr(args, "telemetry_out", None)
     if not path:
         return
@@ -674,7 +894,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policy = policy_by_name(args.policy)
     topology = topology_by_name(args.topology) if args.topology else None
     telemetry = _telemetry_config(args)
-    if telemetry is None:
+    obs = _obs_config(args)
+    if telemetry is None and obs is None:
         report = simulate(workload, policy, config=_system_config(args), topology=topology)
     else:
         session = SimulationSession(
@@ -682,6 +903,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config=_system_config(args),
             topology=topology,
             telemetry=telemetry,
+            obs=obs,
         )
         report = session.run(workload)
         if args.trace_out:
@@ -694,12 +916,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # windowed time-series only exist when --metrics-interval asked for
         # them, so plain runs keep the historical flat payload byte-for-byte
         payload["metrics"] = report.metrics
+    if report.alerts:
+        # same touched-gating: only --alerts runs can populate this
+        payload["alerts"] = report.alerts
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         if report.metrics:
             payload["metrics"] = f"{len(report.metrics)} windows"
+        if report.alerts:
+            payload["alerts"] = f"{len(report.alerts)} fired"
         print(render_kv_table(label, payload))
+    if getattr(args, "alerts", False):
+        _print_alerts(report, "run")
     return 0
 
 
@@ -747,6 +976,7 @@ def _cmd_sweep_all(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
     policies = [policy_by_name(name) for name in args.policies]
     runner.sweep(policies=policies)
@@ -791,6 +1021,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
     figure = figure14_adaptive(runner, adaptive_config=adaptive_config)
     summary = adaptive_summary(figure)
@@ -874,6 +1105,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
     policies = [policy_by_name(name) for name in args.policies]
     figure = figure_scaling(
@@ -953,6 +1185,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
     if "partitioned" in modes:
         for mix in mixes:
@@ -1005,9 +1238,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         atomic_write_json(args.json_out, blob)
         print(f"[serve] wrote figure data to {args.json_out}", file=sys.stderr)
 
-    if args.trace_out:
+    if args.trace_out or args.alerts:
         # the sweep's cells ran in workers (or came from the store), so the
-        # trace is an inline replay of the first runnable cell of the grid
+        # trace/alert observers attach to an inline replay of the first
+        # runnable cell of the grid
         cell = next(
             (
                 (mix, mode)
@@ -1027,14 +1261,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config=_system_config(args),
                 streams=mix.with_cu_share(mode).scaled(args.scale),
                 telemetry=_telemetry_config(args),
+                obs=_obs_config(args),
             )
-            session.run()
-            _write_trace(args.trace_out, session, "serve")
+            replay = session.run()
+            if args.trace_out:
+                _write_trace(args.trace_out, session, "serve")
             print(
-                f"[serve] traced {mix.name} under {policies[0].name} "
-                f"({mode} CUs)",
+                f"[serve] {'traced' if args.trace_out else 'replayed'} "
+                f"{mix.name} under {policies[0].name} ({mode} CUs)",
                 file=sys.stderr,
             )
+            if args.alerts:
+                _print_alerts(replay, "serve")
 
     stats = runner.stats()
     print(
@@ -1097,6 +1335,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        ledger_path=args.ledger,
     )
     try:
         figure = figure_resilience(
@@ -1142,10 +1381,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         atomic_write_json(args.json_out, blob)
         print(f"[faults] wrote figure data to {args.json_out}", file=sys.stderr)
 
-    if args.trace_out:
-        # inline traced replay of the first mix's first runnable cell,
-        # preferring a plan that actually injects faults so the trace shows
-        # degraded intervals; falls back to the healthy baseline
+    if args.trace_out or args.alerts:
+        # inline replay of the first mix's first runnable cell, preferring a
+        # plan that actually injects faults so the trace shows degraded
+        # intervals (and the availability detector has something to judge);
+        # falls back to the healthy baseline
         mix = mixes[0]
         runnable = [
             plan
@@ -1168,14 +1408,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 topology=topology,
                 faults=plan,
                 telemetry=_telemetry_config(args),
+                obs=_obs_config(args),
             )
-            session.run()
-            _write_trace(args.trace_out, session, "faults")
+            replay = session.run()
+            if args.trace_out:
+                _write_trace(args.trace_out, session, "faults")
             print(
-                f"[faults] traced {mix.name} under {policies[0].name} "
-                f"with plan {plan.label}",
+                f"[faults] {'traced' if args.trace_out else 'replayed'} "
+                f"{mix.name} under {policies[0].name} with plan {plan.label}",
                 file=sys.stderr,
             )
+            if args.alerts:
+                _print_alerts(replay, "faults")
 
     stats = runner.stats()
     print(
@@ -1202,11 +1446,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     policy = policy_by_name(args.policy)
     topology = topology_by_name(args.topology) if args.topology else None
     plan = fault_plan_by_name(args.plan) if args.plan else None
+    interval = args.metrics_interval or 0
+    if not interval and args.alerts:
+        interval = AlertConfig().default_metrics_interval
     telemetry = TelemetryConfig(
         trace=True,
-        metrics_interval=args.metrics_interval or 0,
+        metrics_interval=interval,
         profile=True,
     )
+    obs = _obs_config(args)
     try:
         if args.mix:
             session = SimulationSession(
@@ -1216,6 +1464,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 streams=mix_by_name(args.mix).scaled(args.scale),
                 faults=plan,
                 telemetry=telemetry,
+                obs=obs,
             )
             report = session.run()
         else:
@@ -1225,6 +1474,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 topology=topology,
                 faults=plan,
                 telemetry=telemetry,
+                obs=obs,
             )
             report = session.run(get_workload(args.workload, scale=args.scale))
     except ValueError as exc:  # e.g. a fault plan the system cannot host
@@ -1251,6 +1501,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "mem_latency_p95": latency["p95"],
         "mem_latency_p99": latency["p99"],
     }
+    if args.alerts:
+        summary["alerts"] = len(report.alerts)
+        _print_alerts(report, "trace")
     if args.json:
         print(json.dumps(summary, indent=1, sort_keys=True))
     else:
@@ -1291,6 +1544,33 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     store = ResultStore(cache_dir)
     if args.action == "stats":
         payload: dict[str, object] = dict(store.stats())
+        # when a run ledger lives alongside the store, fold its fleet-level
+        # view in: how many runs/jobs it has seen, and the store hit-rate
+        # and worker utilization of the most recent sweep aggregate --
+        # visible without hunting for a --telemetry-out artifact
+        ledger_file = Path(cache_dir).expanduser() / "ledger.jsonl"
+        if ledger_file.is_file():
+            entries = RunLedger(ledger_file).entries()
+            payload["ledger_entries"] = len(entries)
+            kinds: dict[str, int] = {}
+            for entry in entries:
+                kind = str(entry.get("kind", "?"))
+                kinds[kind] = kinds.get(kind, 0) + 1
+            for kind in sorted(kinds):
+                payload[f"ledger_{kind}_entries"] = kinds[kind]
+            last_sweep = next(
+                (e for e in reversed(entries) if e.get("kind") == "sweep"), None
+            )
+            if last_sweep is not None:
+                telemetry = last_sweep.get("telemetry") or {}
+                for key in (
+                    "runs_simulated",
+                    "runs_loaded",
+                    "store_hit_rate",
+                    "worker_utilization",
+                ):
+                    if key in telemetry:
+                        payload[f"last_sweep_{key}"] = telemetry[key]
     elif args.action == "clear":
         payload = {"root": str(store.root), "removed": store.clear()}
     else:  # prune
@@ -1303,6 +1583,202 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=1, sort_keys=True))
     else:
         print(render_kv_table(f"Result store {args.action}", payload))
+    return 0
+
+
+def _ledger_for(args: argparse.Namespace) -> RunLedger:
+    """The ledger the --ledger flag names (or the conventional default)."""
+    path = getattr(args, "ledger", None)
+    return RunLedger(path) if path else RunLedger()
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """Inspect or prune the cross-run provenance ledger."""
+    ledger = _ledger_for(args)
+    if args.action == "list":
+        if args.count < 1:
+            print(f"error: --count must be at least 1, got {args.count}", file=sys.stderr)
+            return 2
+        entries = ledger.entries()
+        shown = entries[-args.count :]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "schema": 1,
+                        "path": str(ledger.path),
+                        "total": len(entries),
+                        "entries": shown,
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        if not entries:
+            print(f"ledger {ledger.path}: empty")
+            return 0
+        print(f"ledger {ledger.path}: {len(entries)} entries")
+        first_index = len(entries) - len(shown)
+        for offset, entry in enumerate(shown):
+            fingerprint_hex = entry.get("fingerprint")
+            prefix = fingerprint_hex[:12] if isinstance(fingerprint_hex, str) else "-"
+            cell = f"{entry.get('workload', '?')}/{entry.get('policy', '?')}"
+            line = (
+                f"  [{first_index + offset}] {_format_ts(entry.get('ts'))}  "
+                f"{str(entry.get('kind', '?')):5s} {cell:24s} fp={prefix:12s}"
+            )
+            if entry.get("cycles") is not None:
+                line += f" cycles={entry['cycles']}"
+            if entry.get("events_per_sec") is not None:
+                line += f" ev/s={entry['events_per_sec']}"
+            alerts = entry.get("alerts")
+            if alerts:
+                line += f" alerts={len(alerts)}"
+            print(line)
+        return 0
+    if args.action == "show":
+        entry = ledger.find(args.ref)
+        if entry is None:
+            print(
+                f"error: no ledger entry matches {args.ref!r} in {ledger.path}",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(entry, indent=1, sort_keys=True))
+        return 0
+    # prune
+    if args.keep is None and args.max_age_days is None:
+        print(
+            "error: ledger prune needs --keep N and/or --max-age-days D",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        removed = ledger.prune(keep=args.keep, max_age_days=args.max_age_days)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = {"path": str(ledger.path), "removed": removed, "remaining": len(ledger)}
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(render_kv_table("Ledger prune", payload))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Counter-for-counter comparison of two runs.
+
+    Each operand may be a report JSON file (``run --json`` output is
+    rejected with guidance -- it lacks raw counters), a result-store
+    fingerprint prefix, or a ledger index/fingerprint.  Two runs of the
+    same fingerprint diffing to zero drift is the determinism contract
+    made checkable (``--fail-on-drift`` turns it into a CI gate).
+    """
+    if args.threshold < 0:
+        print(
+            f"error: --threshold must be non-negative, got {args.threshold}",
+            file=sys.stderr,
+        )
+        return 2
+    store = None
+    cache_dir = _cache_dir(args, default_to_conventional=True)
+    if cache_dir is not None and Path(cache_dir).expanduser().is_dir():
+        store = ResultStore(cache_dir)
+    try:
+        report_a, label_a = resolve_report(args.ref_a, store=store, ledger=_ledger_for(args))
+        report_b, label_b = resolve_report(args.ref_b, store=store, ledger=_ledger_for(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_reports(
+        report_a, report_b, threshold=args.threshold, a_label=label_a, b_label=label_b
+    )
+    if args.json:
+        print(json.dumps(diff, indent=1, sort_keys=True))
+    elif args.markdown:
+        print(render_diff_markdown(diff))
+    else:
+        print(render_diff_table(diff))
+    if args.fail_on_drift and not diff["identical"]:
+        print("[diff] drift detected (--fail-on-drift)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """The regression sentinel: record throughput history, check floors.
+
+    ``record`` appends a median-of-N measurement to the history file;
+    ``check`` judges a measurement (fresh, or ``--use-last`` for the
+    newest recorded one) against the committed-baseline flat floor and the
+    history's robust median - k*MAD floor, exiting 1 on regression.
+    """
+    if args.samples < 1:
+        print(f"error: --samples must be at least 1, got {args.samples}", file=sys.stderr)
+        return 2
+    history_path = Path(args.history).expanduser() if args.history else default_history_path()
+    if args.action == "record":
+        measurement = measure_core_throughput(samples=args.samples)
+        entry = append_history(history_path, measurement)
+        if args.json:
+            print(json.dumps(entry, indent=1, sort_keys=True))
+        else:
+            print(
+                render_kv_table(
+                    "Bench record",
+                    {
+                        "benchmark": entry["benchmark"],
+                        "events_per_sec": entry["events_per_sec"],
+                        "median_seconds": entry["median_seconds"],
+                        "samples": entry["samples"],
+                        "history": str(history_path),
+                        "history_entries": len(load_history(history_path)),
+                    },
+                )
+            )
+        return 0
+    # check
+    history = load_history(history_path)
+    if args.use_last:
+        if not history:
+            print(
+                f"error: no bench history at {history_path}; "
+                "run 'bench record' first",
+                file=sys.stderr,
+            )
+            return 2
+        value, prior = history[-1], history[:-1]
+    else:
+        measurement = measure_core_throughput(samples=args.samples)
+        value, prior = measurement.events_per_sec, history
+    verdict = evaluate_measurement(
+        value,
+        history=prior,
+        baseline=committed_baseline(),
+        max_regression=args.max_regression,
+        mad_factor=args.mad_factor,
+        min_history=args.min_history,
+    )
+    payload = dict(verdict.as_dict())
+    payload["history_path"] = str(history_path)
+    payload["history_samples_used"] = len(prior)
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        shown = {
+            key: ("-" if value is None else value)
+            for key, value in payload.items()
+            if key != "reasons"
+        }
+        print(render_kv_table("Bench check", shown))
+    for reason in verdict.reasons:
+        print(f"[bench] {reason}", file=sys.stderr)
+    if not verdict.ok:
+        print("[bench] REGRESSION: throughput below floor", file=sys.stderr)
+        return 1
+    print("[bench] ok", file=sys.stderr)
     return 0
 
 
@@ -1340,6 +1816,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     interval = getattr(args, "metrics_interval", None)
     if interval is not None and interval < 0:
         parser.error(f"--metrics-interval must be non-negative, got {interval}")
+    if args.log_level or args.log_file or args.log_json:
+        # structured logging is an observer: it never touches results, so
+        # enabling it here is safe for every subcommand
+        configure_logging(
+            level=args.log_level or "info",
+            path=args.log_file,
+            json_lines=args.log_json,
+        )
     try:
         if args.command == "list":
             return _cmd_list(args)
@@ -1365,6 +1849,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_figure(args)
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "ledger":
+            return _cmd_ledger(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except OSError as exc:  # unusable --cache-dir target (file, unwritable, ...)
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -41,6 +41,8 @@ from repro.experiments.store import ResultStore
 from repro.faults.config import FaultPlan
 from repro.fingerprint import SCHEMA_VERSION, fingerprint
 from repro.ioutil import atomic_write_json
+from repro.log import get_logger
+from repro.obs.ledger import RunLedger, run_entry
 from repro.session import simulate
 from repro.stats.report import RunReport
 from repro.streams.config import StreamConfig
@@ -57,6 +59,9 @@ __all__ = [
     "SweepExecutor",
     "execute_job",
 ]
+
+#: run-scoped structured logger (silent unless repro.log.configure ran)
+_log = get_logger("executor")
 
 
 @dataclass(frozen=True)
@@ -391,6 +396,14 @@ class ProcessPoolBackend:
             )
             errors.update(errors_now)
             pending = sorted(errors_now)
+            if pending and _log.enabled:
+                _log.warning(
+                    "batch_attempt_failed",
+                    attempt=attempt,
+                    failed=len(pending),
+                    retries_left=max(0, self.retries + 1 - attempt),
+                    first_error=repr(errors[pending[0]]),
+                )
             if attempt >= self.retries + 1:
                 break
         if pending:
@@ -398,6 +411,12 @@ class ProcessPoolBackend:
                 self.failures.append(
                     _failure(jobs[index], index, errors[index], attempts=attempt)
                 )
+            _log.error(
+                "jobs_failed",
+                count=len(pending),
+                attempts=attempt,
+                error=repr(errors[pending[0]]),
+            )
             raise errors[pending[0]]
         assert all(report is not None for report in reports)
         return reports  # type: ignore[return-value]
@@ -419,7 +438,14 @@ class ProcessPoolBackend:
             except BaseException as exc:
                 if attempt >= self.retries + 1:
                     self.failures.append(_failure(job, 0, exc, attempts=attempt))
+                    _log.error("job_failed", attempts=attempt, error=repr(exc))
                     raise
+                _log.warning(
+                    "job_retry",
+                    attempt=attempt,
+                    retries_left=self.retries + 1 - attempt,
+                    error=repr(exc),
+                )
                 self._sleep_before_retry(attempt)
         self.job_seconds[0] = time.perf_counter() - started
         if on_result is not None:
@@ -644,6 +670,11 @@ class SweepExecutor:
         backend: how cache-missing jobs are simulated (default: serial).
         store: persistent result store consulted before simulating and
             updated afterwards; ``None`` disables persistence.
+        ledger: run ledger every *simulated* cell is recorded into as it
+            finishes (store hits are provenance the ledger already has --
+            they ride on the sweep-level entry instead, so a warm sweep
+            does not duplicate its whole history).  ``None`` disables
+            recording.
 
     One executor may be shared by any number of
     :class:`~repro.experiments.runner.ExperimentRunner` instances (the
@@ -655,9 +686,11 @@ class SweepExecutor:
         self,
         backend: Optional[SweepBackend] = None,
         store: Optional[ResultStore] = None,
+        ledger: Optional[RunLedger] = None,
     ) -> None:
         self.backend: SweepBackend = backend or SerialBackend()
         self.store = store
+        self.ledger = ledger
         self.stats = ExecutorStats()
 
     def _record_failures(self) -> None:
@@ -736,6 +769,23 @@ class SweepExecutor:
                     self.store.save(key, report, job=batch[batch_index].summary())
                 if checkpoint is not None:
                     checkpoint.mark_done(key)
+                if self.ledger is not None:
+                    # both backends set job_seconds[batch_index] before the
+                    # callback fires, so wall time is available here
+                    seconds = getattr(self.backend, "job_seconds", {}).get(batch_index)
+                    self.ledger.record(
+                        run_entry(
+                            kind="job",
+                            fingerprint_hex=key,
+                            workload=report.workload,
+                            policy=report.policy,
+                            cycles=report.cycles,
+                            counters=report.counters,
+                            wall_seconds=seconds,
+                            source="executor",
+                            extra={"job": batch[batch_index].summary()},
+                        )
+                    )
 
             batch_started = time.perf_counter()
             try:
@@ -754,3 +804,27 @@ class SweepExecutor:
     def run_one(self, job: JobSpec) -> RunReport:
         """Convenience wrapper for a single job."""
         return self.run([job])[0]
+
+    def record_sweep(
+        self, label: str = "sweep", workers: int = 1
+    ) -> Optional[dict[str, object]]:
+        """Append one sweep-level aggregate entry to the ledger.
+
+        Carries the executor telemetry (simulated/loaded/failed counts,
+        store hit rate, batch and job wall time, retry pressure, worker
+        utilization) -- the fleet-level record of how the sweep *executed*,
+        complementing the per-cell ``job`` entries of what it computed.
+        Returns the recorded entry, or ``None`` without a ledger.
+        """
+        if self.ledger is None:
+            return None
+        return self.ledger.record(
+            run_entry(
+                kind="sweep",
+                fingerprint_hex=None,
+                workload=label,
+                policy="*",
+                telemetry=self.stats.telemetry(workers),
+                source="executor",
+            )
+        )

@@ -29,6 +29,7 @@ from repro.experiments.jobs import (
 )
 from repro.experiments.store import ResultStore
 from repro.faults.config import FaultPlan
+from repro.obs.ledger import RunLedger
 from repro.stats.comparison import PolicyComparison
 from repro.stats.report import RunReport
 from repro.streams.config import ServingMix
@@ -100,6 +101,10 @@ class ExperimentRunner:
             ``job_retries`` allows).
         job_retries: with a process pool, how many times a dead or hung
             job is retried on a fresh pool before its failure is raised.
+        ledger_path: run-ledger JSONL file every simulated cell (and the
+            sweep aggregate, via ``executor.record_sweep``) is recorded
+            into; ``None`` disables provenance recording.  Ignored when an
+            ``executor`` is supplied.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         job_timeout: Optional[float] = None,
         job_retries: int = 0,
+        ledger_path: Optional[str] = None,
     ) -> None:
         self.scale = scale
         self.config = config or default_config()
@@ -125,7 +131,8 @@ class ExperimentRunner:
                 else SerialBackend()
             )
             store = ResultStore(cache_dir) if cache_dir is not None else None
-            executor = SweepExecutor(backend=backend, store=store)
+            ledger = RunLedger(ledger_path) if ledger_path is not None else None
+            executor = SweepExecutor(backend=backend, store=store, ledger=ledger)
         self.executor = executor
         self._cache: dict[tuple[str, str], RunReport] = {}
         self._memo_hits = 0

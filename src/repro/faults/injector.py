@@ -40,6 +40,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.faults.config import FaultEvent, FaultPlan
+from repro.log import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine import Simulator
@@ -48,6 +49,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.stats import StatsCollector
 
 __all__ = ["FaultInjector", "LinkFaultState", "DramFaultState"]
+
+#: run-scoped structured logger (silent unless repro.log.configure ran)
+_log = get_logger("faults")
 
 
 class LinkFaultState:
@@ -213,6 +217,14 @@ class FaultInjector:
         }[event.kind]
         if self.trace is not None:
             self.trace.fault_event(event.kind, event.target)
+        if _log.enabled:
+            _log.warning(
+                "fault_strike",
+                kind=event.kind,
+                target=event.target,
+                cycle=self.sim.now,
+                duration=event.duration,
+            )
         if handler(event):
             self.stats.add("faults.injected")
         else:

@@ -19,7 +19,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["atomic_write_json"]
+__all__ = ["append_jsonl", "atomic_write_json", "read_jsonl"]
 
 
 def atomic_write_json(
@@ -68,3 +68,58 @@ def atomic_write_json(
         except OSError:
             pass
         raise
+
+
+def append_jsonl(path: str | os.PathLike[str], record: object, fsync: bool = True) -> None:
+    """Append one compact JSON line to ``path`` durably.
+
+    The append-only counterpart of :func:`atomic_write_json` for growing
+    logs (the run ledger, the bench history): the whole record is
+    serialized first and written in a single ``write`` on an ``O_APPEND``
+    handle, so concurrent appenders interleave whole lines, and the handle
+    is flushed + fsynced before close so a power cut cannot lose an
+    acknowledged entry.  Readers tolerate a torn trailing line (see
+    :func:`read_jsonl`), so even a crash mid-``write`` only costs the
+    entry being written.
+
+    Args:
+        path: destination file; parent directories are created.
+        record: JSON-serializable payload for one line.
+        fsync: durability barrier after the write (disable only for logs
+            where losing the tail on power cut is acceptable).
+    """
+    target = Path(path)
+    if target.parent != Path():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+
+def read_jsonl(path: str | os.PathLike[str]) -> list[dict]:
+    """Parse a JSONL file tolerantly: each well-formed object line becomes
+    a dict, torn/corrupt lines and non-object lines are skipped.
+
+    A missing file reads as empty -- callers treat JSONL logs as
+    append-only registries where absence simply means "nothing recorded
+    yet".
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return []
+    records: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            blob = json.loads(line)
+        except ValueError:
+            continue  # torn tail from a crashed writer: skip, keep reading
+        if isinstance(blob, dict):
+            records.append(blob)
+    return records

@@ -1,0 +1,37 @@
+"""Configuration for the cross-run observability layer.
+
+Mirrors :class:`repro.telemetry.TelemetryConfig`: a small frozen
+dataclass the session takes as an optional ``obs=`` argument.  ``None``
+(the default) is the exact historical code path -- no ledger append, no
+detectors, no extra attribute reads.  Like telemetry, the configuration
+is deliberately **not** part of job fingerprints: observers never change
+results, so an observed run must share its store entry with a plain one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.alerts import AlertConfig
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the fleet-level observers should do for one run.
+
+    Attributes:
+        ledger_path: append the run's provenance entry to this JSONL
+            ledger (``None`` disables recording).
+        alerts: run the anomaly detectors with these thresholds and attach
+            the findings to ``report.alerts`` (``None`` disables them).
+    """
+
+    ledger_path: Optional[str] = None
+    alerts: Optional[AlertConfig] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.ledger_path is not None or self.alerts is not None

@@ -23,6 +23,7 @@ directly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace as dc_replace
 from typing import Optional, Sequence, Union
 
@@ -36,9 +37,13 @@ from repro.core.reuse_predictor import PredictorConfig
 from repro.engine import Simulator
 from repro.faults.config import FaultPlan
 from repro.faults.injector import FaultInjector
+from repro.fingerprint import fingerprint
 from repro.gpu.gpu import Gpu
 from repro.memory.address_mapping import AddressMapping, DeviceInterleave
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.alerts import detect_anomalies
+from repro.obs.config import ObsConfig
+from repro.obs.ledger import RunLedger, component_digests, run_entry
 from repro.stats import RunReport, StatsCollector
 from repro.streams.address_space import isolate_traces
 from repro.telemetry import MetricsSampler, SimProfiler, TelemetryConfig, TraceRecorder
@@ -102,6 +107,13 @@ class SimulationSession:
             ``session.profiler``).  Observers never write counters or
             change timing, so the report's results are unaffected;
             ``telemetry=None`` is the exact historical code path.
+        obs: when given (a :class:`~repro.obs.ObsConfig`), attach the
+            cross-run observability layer: after the run finishes, record
+            a provenance entry into the run ledger and/or run the anomaly
+            detectors and attach their findings to ``report.alerts``.
+            Everything happens *after* ``sim.run()`` on the finished
+            report, so simulated results are untouched; ``obs=None`` is
+            the exact historical code path.
     """
 
     def __init__(
@@ -115,6 +127,7 @@ class SimulationSession:
         streams: Optional[StreamsSpec] = None,
         faults: Optional[FaultPlan] = None,
         telemetry: Optional[TelemetryConfig] = None,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
         if policy is None and adaptive is None:
             raise ValueError("a session needs a policy or an adaptive configuration")
@@ -275,6 +288,10 @@ class SimulationSession:
                 self.profiler = SimProfiler()
                 self.sim.profiler = self.profiler
 
+        # cross-run observability: post-run only (ledger append + anomaly
+        # detection on the finished report); obs=None skips everything
+        self.obs = obs
+
     # ------------------------------------------------------------------
     def run(self, workload: Workload | WorkloadTrace | None = None) -> RunReport:
         """Execute the workload (or the serving streams) and return the report."""
@@ -287,6 +304,7 @@ class SimulationSession:
             return self._run_streams()
         if workload is None:
             raise ValueError("run() needs a workload (or a session with streams)")
+        wall_start = time.perf_counter()
         trace = workload.build_trace() if isinstance(workload, Workload) else workload
         if self.topology is not None:
             trace = partition_trace(
@@ -311,7 +329,7 @@ class SimulationSession:
                 "the event queue drained with work outstanding (model deadlock)"
             )
         cycles = finished[0]
-        return RunReport.from_stats(
+        report = RunReport.from_stats(
             workload=trace.name,
             policy=self.policy_label,
             cycles=cycles,
@@ -319,9 +337,11 @@ class SimulationSession:
             config=self.config,
             metrics=self.sampler.windows if self.sampler is not None else None,
         )
+        return self._observe(report, time.perf_counter() - wall_start)
 
     def _run_streams(self) -> RunReport:
         """Execute every configured stream concurrently to completion."""
+        wall_start = time.perf_counter()
         line_bytes = self.config.l2.line_bytes
         traces = []
         for stream in self.streams:
@@ -356,7 +376,7 @@ class SimulationSession:
                 f"{self.policy_label} did not complete; the event queue drained "
                 "with work outstanding (model deadlock)"
             )
-        return RunReport.from_stats(
+        report = RunReport.from_stats(
             workload=self.streams_label,
             policy=self.policy_label,
             cycles=finished[0],
@@ -364,6 +384,98 @@ class SimulationSession:
             config=self.config,
             metrics=self.sampler.windows if self.sampler is not None else None,
         )
+        return self._observe(report, time.perf_counter() - wall_start)
+
+    # ------------------------------------------------------------------
+    # cross-run observability (post-run; never touches simulated results)
+    # ------------------------------------------------------------------
+    @property
+    def shared_dispatch(self) -> bool:
+        """Whether the run's tenants contend for shared CU dispatch.
+
+        Partitioned tenants own their CUs and cannot crowd each other out,
+        so the starvation detector is gated on this.
+        """
+        return self.streams is None or any(
+            stream.cu_share == "shared" for stream in self.streams
+        )
+
+    def run_fingerprint(self, workload: str) -> str:
+        """Stable identity of this run for the ledger.
+
+        Covers the workload name, the policy label, and the digests of
+        every configuration component -- the same inputs that decide what
+        the deterministic simulator will compute -- so re-running the same
+        cell yields the same fingerprint and ``diff`` can pair entries.
+        """
+        return fingerprint(
+            {
+                "workload": workload,
+                "policy": self.policy_label,
+                "digests": self._component_digests(),
+            },
+            kind="SessionRun",
+        )
+
+    def _component_digests(self) -> dict[str, Optional[str]]:
+        return component_digests(
+            config=self.config,
+            adaptive=self.adaptive,
+            topology=self.topology,
+            streams=self.streams,
+            faults=self.faults,
+        )
+
+    def _observe(self, report: RunReport, wall_seconds: float) -> RunReport:
+        """Apply the configured observers to the finished report.
+
+        Anomaly detection mutates only ``report.alerts`` (touched-gated in
+        serialization); the ledger append writes only to the ledger file.
+        Counters, cycles and metrics windows pass through untouched, so an
+        observed run reports counter-for-counter identical results to a
+        plain one (pinned by the equivalence suites).
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return report
+        if obs.alerts is not None:
+            alerts = detect_anomalies(
+                report, obs.alerts, shared_dispatch=self.shared_dispatch
+            )
+            report.alerts = [alert.as_dict() for alert in alerts]
+            if self.recorder is not None:
+                for alert in alerts:
+                    self.recorder.alert_event(
+                        alert.kind, alert.severity, alert.message, alert.cycle
+                    )
+        if obs.ledger_path is not None:
+            digests = self._component_digests()
+            telemetry = None
+            if self.telemetry is not None and self.telemetry.enabled:
+                telemetry = {
+                    "trace": self.recorder is not None,
+                    "trace_truncated": (
+                        self.recorder.truncated if self.recorder is not None else False
+                    ),
+                    "metrics_windows": len(report.metrics),
+                    "profile": self.profiler is not None,
+                }
+            entry = run_entry(
+                kind="run",
+                fingerprint_hex=self.run_fingerprint(report.workload),
+                workload=report.workload,
+                policy=report.policy,
+                cycles=report.cycles,
+                counters=report.counters,
+                digests=digests,
+                wall_seconds=wall_seconds,
+                events=self.sim.queue.executed,
+                telemetry=telemetry,
+                alerts=report.alerts or None,
+                source="session",
+            )
+            RunLedger(obs.ledger_path).record(entry)
+        return report
 
 
 def simulate(
@@ -377,6 +489,7 @@ def simulate(
     streams: Optional[StreamsSpec] = None,
     faults: Optional[FaultPlan] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> RunReport:
     """Run one workload under one caching policy and return its report.
 
@@ -407,5 +520,6 @@ def simulate(
         streams=streams,
         faults=faults,
         telemetry=telemetry,
+        obs=obs,
     )
     return session.run(workload)

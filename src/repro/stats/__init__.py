@@ -17,6 +17,13 @@ from repro.stats.comparison import (
     static_best,
     static_worst,
 )
+from repro.stats.regression import (
+    RegressionVerdict,
+    check_regression,
+    mad,
+    median,
+    robust_floor,
+)
 
 __all__ = [
     "StatsCollector",
@@ -25,4 +32,9 @@ __all__ = [
     "normalize_to",
     "static_best",
     "static_worst",
+    "RegressionVerdict",
+    "check_regression",
+    "mad",
+    "median",
+    "robust_floor",
 ]

@@ -1,0 +1,167 @@
+"""Robust regression detection for noisy benchmark samples.
+
+The perf smoke gate used to be a single timing sample compared against one
+hand-committed number with a flat 25% threshold -- wide enough to hide a
+20% regression, yet still trippable by one unlucky scheduler stall.  This
+module replaces that with standard robust statistics:
+
+* measurements are the **median of N samples** (the run is deterministic,
+  so spread between samples is pure host noise);
+* the committed baseline keeps its flat threshold as a catastrophic
+  floor (portable across machines via ``REPRO_BENCH_MAX_REGRESSION``);
+* the per-machine history (``BENCH_history.jsonl``) yields a second,
+  *adaptive* floor: ``median(history) - k * 1.4826 * MAD(history)``.  The
+  median absolute deviation is outlier-proof (one garbage sample cannot
+  widen the gate), the 1.4826 factor scales MAD to a standard deviation
+  under normal noise, and the MAD itself is floored at a small fraction
+  of the median so a perfectly quiet history cannot produce a zero-width
+  gate that fails on the first scheduler hiccup.
+
+:func:`check_regression` combines both models into one
+:class:`RegressionVerdict`; ``benchmarks/test_perf_smoke.py`` and the
+``repro-gpu-cache bench check`` CLI are the two consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["RegressionVerdict", "check_regression", "mad", "median", "robust_floor"]
+
+#: MAD -> standard deviation consistency factor for normally distributed noise
+MAD_TO_SIGMA = 1.4826
+
+
+def median(values: Sequence[float]) -> float:
+    """The middle value (mean of the middle two for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if not values:
+        raise ValueError("MAD of an empty sequence")
+    pivot = median(values) if center is None else center
+    return median([abs(value - pivot) for value in values])
+
+
+def robust_floor(
+    history: Sequence[float],
+    mad_factor: float = 4.0,
+    min_mad_fraction: float = 0.02,
+) -> float:
+    """The lowest value the history deems unremarkable.
+
+    ``median - mad_factor * 1.4826 * max(MAD, min_mad_fraction * median)``:
+    values below it sit more than ``mad_factor`` robust standard
+    deviations under the historical median.  The MAD floor keeps a
+    zero-spread history (identical recorded samples) from producing a
+    zero-width gate.
+    """
+    if not history:
+        raise ValueError("robust floor of an empty history")
+    center = median(history)
+    spread = max(mad(history, center=center), abs(center) * min_mad_fraction)
+    return center - mad_factor * MAD_TO_SIGMA * spread
+
+
+@dataclass
+class RegressionVerdict:
+    """The outcome of one regression check, with every input that shaped it."""
+
+    value: float
+    ok: bool = True
+    #: human-readable explanation of each failed gate (empty when ok)
+    reasons: list[str] = field(default_factory=list)
+    #: committed-baseline gate: value must stay above this (None = no gate)
+    baseline_floor: Optional[float] = None
+    #: history gate: value must stay above this (None = history too short)
+    history_floor: Optional[float] = None
+    history_median: Optional[float] = None
+    history_mad: Optional[float] = None
+    #: history samples the adaptive gate was built from
+    history_samples: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "value": self.value,
+            "ok": self.ok,
+            "reasons": list(self.reasons),
+            "baseline_floor": self.baseline_floor,
+            "history_floor": self.history_floor,
+            "history_median": self.history_median,
+            "history_mad": self.history_mad,
+            "history_samples": self.history_samples,
+        }
+
+
+def check_regression(
+    value: float,
+    committed_baseline: Optional[float] = None,
+    max_regression: float = 0.25,
+    history: Sequence[float] = (),
+    mad_factor: float = 4.0,
+    min_history: int = 5,
+    min_mad_fraction: float = 0.02,
+) -> RegressionVerdict:
+    """Judge one higher-is-better measurement against both regression models.
+
+    Args:
+        value: the measurement (e.g. median events/sec of this run).
+        committed_baseline: the committed reference number; with
+            ``max_regression > 0`` the value must stay above
+            ``baseline * (1 - max_regression)``.  ``None`` or
+            ``max_regression == 0`` disables this gate.
+        max_regression: allowed fractional slowdown vs the committed
+            baseline (the existing ``REPRO_BENCH_MAX_REGRESSION`` knob).
+        history: prior recorded measurements *on this machine* (newest or
+            oldest first -- order is irrelevant to median/MAD).
+        mad_factor: robust z-score threshold for the history gate.
+        min_history: history gate only arms once this many samples exist
+            (a 2-sample "history" has no meaningful spread).
+        min_mad_fraction: MAD floor as a fraction of the history median.
+
+    Returns a :class:`RegressionVerdict`; ``ok`` is True when every armed
+    gate passes.  With no committed baseline and a short history, nothing
+    is armed and the verdict trivially passes (the record still grows the
+    history for next time).
+    """
+    if max_regression < 0:
+        raise ValueError(f"max_regression must be >= 0, got {max_regression}")
+    if min_history < 1:
+        raise ValueError(f"min_history must be positive, got {min_history}")
+    verdict = RegressionVerdict(value=float(value))
+    if committed_baseline and max_regression > 0:
+        verdict.baseline_floor = committed_baseline * (1.0 - max_regression)
+        if value < verdict.baseline_floor:
+            verdict.ok = False
+            verdict.reasons.append(
+                f"{value:,.0f} is below the committed-baseline floor "
+                f"{verdict.baseline_floor:,.0f} "
+                f"({max_regression:.0%} under {committed_baseline:,.0f})"
+            )
+    samples = [float(sample) for sample in history]
+    verdict.history_samples = len(samples)
+    if len(samples) >= min_history:
+        center = median(samples)
+        verdict.history_median = center
+        verdict.history_mad = mad(samples, center=center)
+        verdict.history_floor = robust_floor(
+            samples, mad_factor=mad_factor, min_mad_fraction=min_mad_fraction
+        )
+        if value < verdict.history_floor:
+            verdict.ok = False
+            verdict.reasons.append(
+                f"{value:,.0f} is below the history floor "
+                f"{verdict.history_floor:,.0f} (median {center:,.0f} over "
+                f"{len(samples)} samples, MAD {verdict.history_mad:,.0f}, "
+                f"k={mad_factor})"
+            )
+    return verdict

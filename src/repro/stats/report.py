@@ -45,6 +45,9 @@ class RunReport:
     #: telemetry metrics windows (``{"start", "end", "counters"}`` dicts,
     #: see :mod:`repro.telemetry.metrics`); empty unless the run sampled
     metrics: list[dict] = field(default_factory=list)
+    #: anomaly alerts (:meth:`repro.obs.alerts.Alert.as_dict` dicts);
+    #: empty unless the run had the detectors enabled and they fired
+    alerts: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -90,6 +93,10 @@ class RunReport:
             # only sampled runs carry the key, so blobs of plain runs (and
             # every pre-telemetry golden fixture) are byte-identical
             blob["metrics"] = [dict(window) for window in self.metrics]
+        if self.alerts:
+            # same touched-gating as metrics: healthy or detector-less runs
+            # serialize exactly as they always have
+            blob["alerts"] = [dict(alert) for alert in self.alerts]
         return blob
 
     @classmethod
@@ -109,6 +116,9 @@ class RunReport:
         metrics_raw = data.get("metrics", [])
         if not isinstance(metrics_raw, Sequence) or isinstance(metrics_raw, (str, bytes)):
             raise ValueError("run report metrics must be a list of windows")
+        alerts_raw = data.get("alerts", [])
+        if not isinstance(alerts_raw, Sequence) or isinstance(alerts_raw, (str, bytes)):
+            raise ValueError("run report alerts must be a list of alert dicts")
         return cls(
             workload=workload,
             policy=policy,
@@ -117,6 +127,7 @@ class RunReport:
             clock_ghz=float(data.get("clock_ghz", 1.6)),  # type: ignore[arg-type]
             wavefront_size=int(data.get("wavefront_size", 64)),  # type: ignore[arg-type]
             metrics=[dict(window) for window in metrics_raw],  # type: ignore[call-overload]
+            alerts=[dict(alert) for alert in alerts_raw],  # type: ignore[call-overload]
         )
 
     # ------------------------------------------------------------------

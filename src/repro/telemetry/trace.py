@@ -45,6 +45,7 @@ PID_DEVICE_BASE = 10
 #: control-process thread ids
 TID_ADAPTIVE = 0
 TID_FAULTS = 1
+TID_ALERTS = 2
 
 #: tid stride separating a CU's wavefront lanes inside its device process:
 #: lane ``L`` of CU ``c`` renders as tid ``c * WAVE_LANE_STRIDE + L``.  A CU
@@ -302,6 +303,34 @@ class TraceRecorder:
             TID_FAULTS,
             args={"target": target},
             scope="g",
+        )
+
+    # ------------------------------------------------------------------
+    # observability hooks (post-run anomaly alerts)
+    # ------------------------------------------------------------------
+    def alert_event(
+        self, kind: str, severity: str, message: str, cycle: int
+    ) -> None:
+        """An anomaly alert, anchored at the cycle it was detected *for*.
+
+        Alerts are computed after the run finishes, so unlike every other
+        instant this one carries an explicit timestamp -- the window end
+        (or run end) the detector anchored the anomaly to -- instead of
+        ``sim.now``.
+        """
+        self._thread_names.setdefault((PID_CONTROL, TID_ALERTS), "alerts")
+        self._process_names.setdefault(PID_CONTROL, "control")
+        self._emit(
+            {
+                "name": kind,
+                "cat": "alert",
+                "ph": "i",
+                "ts": cycle,
+                "pid": PID_CONTROL,
+                "tid": TID_ALERTS,
+                "s": "g",
+                "args": {"severity": severity, "message": message},
+            }
         )
 
     def degraded_begin(self) -> None:

@@ -1,0 +1,606 @@
+"""Unit tests for the cross-run observability layer (:mod:`repro.obs`).
+
+Covers the four pieces the layer is built from -- robust regression
+statistics, the append-only run ledger, counter diffing, and the anomaly
+detectors -- plus the run-scoped structured logger they share.  Every
+test here is synthetic (no simulations): the end-to-end behaviour on real
+runs is pinned by ``tests/integration/test_obs_end_to_end.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.ioutil import append_jsonl, read_jsonl
+from repro.log import StructuredLogger, configure, get_logger, reset
+from repro.obs.alerts import Alert, AlertConfig, detect_anomalies
+from repro.obs.bench import (
+    BenchMeasurement,
+    append_history,
+    committed_baseline,
+    load_history,
+)
+from repro.obs.config import ObsConfig
+from repro.obs.diff import diff_reports, render_diff_markdown, render_diff_table, resolve_report
+from repro.obs.ledger import RunLedger, component_digests, run_entry
+from repro.stats.regression import check_regression, mad, median, robust_floor
+from repro.stats.report import RunReport
+
+MAD_TO_SIGMA = 1.4826
+
+
+# ----------------------------------------------------------------------
+# robust regression statistics
+# ----------------------------------------------------------------------
+class TestRegressionStats:
+    def test_median_odd_and_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_measures_spread_around_median(self):
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        # deviations from median 2: [1, 0, 1] -> median 1
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+
+    def test_mad_shrugs_off_an_outlier(self):
+        # one wild sample moves the mean wildly but not the MAD
+        clean = mad([100.0, 101.0, 99.0, 100.0, 100.0])
+        dirty = mad([100.0, 101.0, 99.0, 100.0, 1000.0])
+        assert dirty <= clean + 1.0
+
+    def test_robust_floor_zero_spread_history(self):
+        # identical samples: the min_mad_fraction floor keeps the gate open
+        floor = robust_floor([100.0] * 5, mad_factor=4.0, min_mad_fraction=0.02)
+        assert floor == pytest.approx(100.0 - 4.0 * MAD_TO_SIGMA * 2.0)
+        with pytest.raises(ValueError):
+            robust_floor([])
+
+    def test_check_regression_nothing_armed_passes(self):
+        verdict = check_regression(50.0)
+        assert verdict.ok
+        assert verdict.reasons == []
+        assert verdict.baseline_floor is None
+        assert verdict.history_floor is None
+
+    def test_check_regression_committed_gate(self):
+        ok = check_regression(95.0, committed_baseline=100.0, max_regression=0.1)
+        assert ok.ok and ok.baseline_floor == pytest.approx(90.0)
+        bad = check_regression(80.0, committed_baseline=100.0, max_regression=0.1)
+        assert not bad.ok
+        assert "committed-baseline floor" in bad.reasons[0]
+
+    def test_check_regression_history_gate_arms_at_min_history(self):
+        history = [100.0] * 4
+        verdict = check_regression(10.0, history=history, min_history=5)
+        assert verdict.ok  # four samples: gate not armed yet
+        assert verdict.history_floor is None
+        verdict = check_regression(10.0, history=history + [100.0], min_history=5)
+        assert not verdict.ok
+        assert verdict.history_floor is not None
+        assert verdict.history_samples == 5
+
+    def test_check_regression_history_gate_is_outlier_robust(self):
+        # one crazy-fast historical sample must not drag the floor up
+        history = [100.0, 101.0, 99.0, 100.0, 1000.0]
+        verdict = check_regression(95.0, history=history)
+        assert verdict.ok, verdict.reasons
+
+    def test_check_regression_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            check_regression(1.0, max_regression=-0.1)
+        with pytest.raises(ValueError):
+            check_regression(1.0, min_history=0)
+
+    def test_verdict_as_dict_round_trips_json(self):
+        verdict = check_regression(60.0, committed_baseline=100.0, history=[90.0] * 6)
+        blob = json.loads(json.dumps(verdict.as_dict()))
+        assert blob["ok"] is False
+        assert blob["history_samples"] == 6
+        assert isinstance(blob["reasons"], list) and blob["reasons"]
+
+
+# ----------------------------------------------------------------------
+# jsonl plumbing
+# ----------------------------------------------------------------------
+class TestJsonlPlumbing:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": 2})
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_read_tolerates_torn_tail_and_garbage(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        append_jsonl(path, {"a": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": tru')  # crashed writer mid-record
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+
+# ----------------------------------------------------------------------
+# structured logging
+# ----------------------------------------------------------------------
+class TestStructuredLog:
+    @pytest.fixture(autouse=True)
+    def _clean_logging_state(self):
+        reset()
+        yield
+        reset()
+
+    def test_disabled_by_default(self, tmp_path, capsys):
+        log = get_logger("test")
+        assert not log.enabled
+        log.warning("something", n=1)
+        assert capsys.readouterr().err == ""
+
+    def test_json_lines_to_file(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure(level="info", path=str(path), json_lines=True)
+        log = get_logger("executor", sweep="demo")
+        assert log.enabled
+        log.warning("batch_attempt_failed", failed=3)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "batch_attempt_failed"
+        assert record["level"] == "warning"
+        assert record["logger"] == "executor"
+        assert record["failed"] == 3
+        assert record["sweep"] == "demo"  # bound field rides along
+        assert isinstance(record["ts"], float)
+
+    def test_level_filtering(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure(level="warning", path=str(path), json_lines=True)
+        log = get_logger("test")
+        log.info("quiet")
+        log.error("loud")
+        events = [json.loads(line)["event"] for line in path.read_text().splitlines()]
+        assert events == ["loud"]
+
+    def test_reset_disables(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure(level="info", path=str(path))
+        assert get_logger("x").enabled
+        reset()
+        assert not get_logger("x").enabled
+        get_logger("x").error("dropped")
+        assert not path.exists() or "dropped" not in path.read_text()
+
+    def test_logger_type(self):
+        assert isinstance(get_logger("anything"), StructuredLogger)
+
+
+# ----------------------------------------------------------------------
+# run ledger
+# ----------------------------------------------------------------------
+def _entry(index: int = 0) -> dict:
+    return run_entry(
+        kind="run",
+        fingerprint_hex=f"{index:02d}" + "ab" * 31,
+        workload="CM",
+        policy="CacheRW",
+        cycles=1000 + index,
+        counters={"l2.hits": 10 + index},
+        wall_seconds=0.5,
+        events=1000,
+    )
+
+
+class TestRunLedger:
+    def test_record_stamps_provenance(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        stamped = ledger.record(_entry())
+        assert stamped["schema"] == 1
+        assert isinstance(stamped["ts"], float)
+        assert stamped["python"] and stamped["host"] is not None
+        assert stamped["events_per_sec"] == 2000
+        assert len(ledger) == 1
+        assert ledger.entries()[0] == stamped
+
+    def test_run_entry_omits_absent_fields(self):
+        entry = run_entry(kind="sweep", fingerprint_hex=None, workload="x", policy="*")
+        assert "cycles" not in entry and "counters" not in entry
+        assert "wall_seconds" not in entry and "alerts" not in entry
+
+    def test_find_by_index_and_prefix(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for index in range(3):
+            ledger.record(_entry(index))
+        assert ledger.find("-1")["cycles"] == 1002
+        assert ledger.find("0")["cycles"] == 1000
+        assert ledger.find("99") is None
+        # prefix: newest match wins
+        found = ledger.find("01ab")
+        assert found is not None and found["cycles"] == 1001
+        assert ledger.find("01a") is None  # too short to be a prefix
+        assert ledger.find("ffff") is None
+
+    def test_tail(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for index in range(4):
+            ledger.record(_entry(index))
+        assert [e["cycles"] for e in ledger.tail(2)] == [1002, 1003]
+        with pytest.raises(ValueError):
+            ledger.tail(0)
+
+    def test_prune_keep(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for index in range(5):
+            ledger.record(_entry(index))
+        assert ledger.prune(keep=2) == 3
+        assert [e["cycles"] for e in ledger.entries()] == [1003, 1004]
+        assert ledger.prune(keep=2) == 0  # idempotent
+
+    def test_prune_max_age_keeps_fresh_entries(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.record(_entry())
+        assert ledger.prune(max_age_days=1.0) == 0
+        assert len(ledger) == 1
+
+    def test_prune_requires_a_criterion(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        with pytest.raises(ValueError):
+            ledger.prune()
+        with pytest.raises(ValueError):
+            ledger.prune(keep=-1)
+
+    def test_alien_schema_lines_ignored(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_jsonl(path, {"schema": 999, "kind": "run"})
+        ledger = RunLedger(path)
+        ledger.record(_entry())
+        assert len(ledger) == 1
+
+    def test_component_digests(self):
+        digests = component_digests(config=scaled_config(2), topology=None)
+        assert digests["topology"] is None
+        assert isinstance(digests["config"], str) and len(digests["config"]) == 64
+        assert digests == component_digests(config=scaled_config(2), topology=None)
+        assert digests["config"] != component_digests(config=scaled_config(4))["config"]
+
+
+# ----------------------------------------------------------------------
+# anomaly detectors
+# ----------------------------------------------------------------------
+def _window(start: int, end: int, **counters: int) -> dict:
+    return {"start": start, "end": end, "counters": dict(counters)}
+
+
+def _report(windows: list[dict], counters: dict | None = None, cycles: int = 1000) -> RunReport:
+    return RunReport(
+        workload="CM",
+        policy="CacheRW",
+        cycles=cycles,
+        counters=counters or {},
+        metrics=windows,
+    )
+
+
+class TestAlertConfig:
+    def test_defaults_validate(self):
+        assert AlertConfig().availability_budget == 0.95
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"hit_rate_cliff": 0.0},
+            {"hit_rate_cliff": 1.5},
+            {"starvation_share": 1.0},
+            {"availability_budget": 1.5},
+            {"min_window_accesses": 0},
+            {"min_window_traffic": 0},
+            {"default_metrics_interval": 0},
+        ],
+    )
+    def test_bad_thresholds_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            AlertConfig(**overrides)
+
+
+class TestHitRateCliff:
+    def test_cliff_fires(self):
+        windows = [
+            _window(0, 100, **{"l2.accesses": 100, "l2.hits": 80}),
+            _window(100, 200, **{"l2.accesses": 100, "l2.hits": 10}),
+        ]
+        alerts = detect_anomalies(_report(windows))
+        assert [a.kind for a in alerts] == ["hit_rate_cliff"]
+        alert = alerts[0]
+        assert alert.severity == "warning"
+        assert alert.cycle == 200
+        assert alert.value == pytest.approx(0.1)
+        assert "0.80 -> 0.10" in alert.message
+
+    def test_thin_windows_not_judged(self):
+        # same collapse, but the second window has too little traffic
+        windows = [
+            _window(0, 100, **{"l2.accesses": 100, "l2.hits": 80}),
+            _window(100, 200, **{"l2.accesses": 10, "l2.hits": 0}),
+        ]
+        assert detect_anomalies(_report(windows)) == []
+
+    def test_gentle_slope_not_judged(self):
+        windows = [
+            _window(0, 100, **{"l2.accesses": 100, "l2.hits": 80}),
+            _window(100, 200, **{"l2.accesses": 100, "l2.hits": 70}),
+        ]
+        assert detect_anomalies(_report(windows)) == []
+
+    def test_recovery_is_not_a_cliff(self):
+        # the rate going UP is not an anomaly
+        windows = [
+            _window(0, 100, **{"l2.accesses": 100, "l2.hits": 10}),
+            _window(100, 200, **{"l2.accesses": 100, "l2.hits": 80}),
+        ]
+        assert detect_anomalies(_report(windows)) == []
+
+
+class TestStarvation:
+    def _mix_windows(self) -> list[dict]:
+        # two tenants, four windows; stream 1 collapses in the middle ones
+        return [
+            _window(0, 100, **{"stream0.mem_requests": 50, "stream1.mem_requests": 50}),
+            _window(100, 200, **{"stream0.mem_requests": 98, "stream1.mem_requests": 2}),
+            _window(200, 300, **{"stream0.mem_requests": 99, "stream1.mem_requests": 1}),
+            _window(300, 400, **{"stream0.mem_requests": 50, "stream1.mem_requests": 50}),
+        ]
+
+    def test_starvation_fires_inside_active_span(self):
+        alerts = detect_anomalies(_report(self._mix_windows()))
+        assert [a.kind for a in alerts] == ["stream_starvation"] * 2
+        assert all(a.stream == 1 for a in alerts)
+        assert [a.cycle for a in alerts] == [200, 300]
+
+    def test_partitioned_dispatch_gates_detector(self):
+        assert detect_anomalies(_report(self._mix_windows()), shared_dispatch=False) == []
+
+    def test_span_edges_not_judged(self):
+        # stream 1 launches late and finishes early: zero traffic outside its
+        # span is a lifetime, not starvation
+        windows = [
+            _window(0, 100, **{"stream0.mem_requests": 100}),
+            _window(100, 200, **{"stream0.mem_requests": 50, "stream1.mem_requests": 50}),
+            _window(200, 300, **{"stream0.mem_requests": 100}),
+        ]
+        assert detect_anomalies(_report(windows)) == []
+
+    def test_single_tenant_never_starves(self):
+        windows = [
+            _window(0, 100, **{"stream0.mem_requests": 100}),
+            _window(100, 200, **{"stream0.mem_requests": 1}),
+            _window(200, 300, **{"stream0.mem_requests": 100}),
+        ]
+        assert detect_anomalies(_report(windows)) == []
+
+    def test_quiet_windows_not_judged(self):
+        windows = self._mix_windows()
+        for window in windows[1:3]:
+            # scale the collapse windows below min_window_traffic
+            window["counters"] = {
+                name: value // 10 for name, value in window["counters"].items()
+            }
+        assert detect_anomalies(_report(windows)) == []
+
+
+class TestAvailabilityBreach:
+    def test_breach_fires_critical(self):
+        report = _report(
+            [],
+            counters={"faults.injected": 2, "faults.degraded_cycles": 200},
+            cycles=1000,
+        )
+        alerts = detect_anomalies(report)
+        assert [a.kind for a in alerts] == ["availability_breach"]
+        assert alerts[0].severity == "critical"
+        assert alerts[0].value == pytest.approx(0.8)
+        assert alerts[0].cycle == 1000
+
+    def test_healthy_fault_run_quiet(self):
+        report = _report(
+            [],
+            counters={"faults.injected": 1, "faults.degraded_cycles": 10},
+            cycles=1000,
+        )
+        assert detect_anomalies(report) == []
+
+    def test_no_faults_no_breach(self):
+        # a fault-free run is not judged even with zero cycles of margin
+        assert detect_anomalies(_report([], counters={}, cycles=10)) == []
+
+
+class TestAlertSerialization:
+    def test_as_dict_omits_absent_stream(self):
+        alert = Alert("availability_breach", "critical", "m", 10, 0.5, 0.95)
+        assert "stream" not in alert.as_dict()
+        tenant = Alert("stream_starvation", "warning", "m", 10, 0.1, 0.2, stream=3)
+        assert tenant.as_dict()["stream"] == 3
+
+    def test_report_round_trips_alerts(self):
+        report = _report([])
+        report.alerts = [
+            Alert("hit_rate_cliff", "warning", "m", 10, 0.1, 0.25).as_dict()
+        ]
+        blob = report.to_dict()
+        assert blob["alerts"] == report.alerts
+        assert RunReport.from_dict(blob).alerts == report.alerts
+
+    def test_plain_report_blob_has_no_alerts_key(self):
+        assert "alerts" not in _report([]).to_dict()
+
+
+# ----------------------------------------------------------------------
+# counter diffing
+# ----------------------------------------------------------------------
+def _make_report(**counter_overrides: int) -> RunReport:
+    counters = {
+        "l1.accesses": 100,
+        "l1.hits": 40,
+        "l2.accesses": 60,
+        "l2.hits": 30,
+        "dram.accesses": 30,
+        "gpu.mem_requests": 100,
+    }
+    counters.update(counter_overrides)
+    return RunReport(workload="CM", policy="CacheRW", cycles=5000, counters=counters)
+
+
+class TestDiffReports:
+    def test_identical_runs_zero_drift(self):
+        diff = diff_reports(_make_report(), _make_report())
+        assert diff["identical"] is True
+        assert diff["counters"]["changed"] == 0
+        assert diff["counters"]["rows"] == []
+        assert diff["cycles"]["delta"] == 0
+        for signal in diff["derived"].values():
+            assert signal["delta"] == pytest.approx(0.0)
+
+    def test_changed_counters_listed_with_rel(self):
+        diff = diff_reports(_make_report(), _make_report(**{"l2.hits": 15}))
+        assert diff["identical"] is False
+        assert diff["counters"]["changed"] == 1
+        (row,) = diff["counters"]["rows"]
+        assert row["counter"] == "l2.hits"
+        assert row["delta"] == -15
+        assert row["rel"] == pytest.approx(-0.5)
+        assert diff["derived"]["l2_hit_rate"]["delta"] == pytest.approx(-0.25)
+
+    def test_threshold_filters_small_changes_but_counts_them(self):
+        b = _make_report(**{"l1.hits": 41, "l2.hits": 60})  # +2.5% and +100%
+        diff = diff_reports(_make_report(), b, threshold=0.5)
+        assert diff["counters"]["changed"] == 2
+        assert [row["counter"] for row in diff["counters"]["rows"]] == ["l2.hits"]
+        assert diff["counters"]["max_rel_change"] == pytest.approx(1.0)
+
+    def test_one_sided_counter_always_listed(self):
+        diff = diff_reports(_make_report(), _make_report(**{"topo.remote": 5}), threshold=0.9)
+        rows = {row["counter"]: row for row in diff["counters"]["rows"]}
+        assert rows["topo.remote"]["a"] == 0
+        assert rows["topo.remote"]["rel"] is None  # no base to relativize
+
+    def test_cycles_drift_alone_breaks_identity(self):
+        b = _make_report()
+        b.cycles = 5001
+        diff = diff_reports(_make_report(), b)
+        assert diff["identical"] is False
+        assert diff["counters"]["changed"] == 0
+
+    def test_renderers_smoke(self):
+        diff = diff_reports(
+            _make_report(), _make_report(**{"l2.hits": 15}), a_label="A", b_label="B"
+        )
+        text = render_diff_table(diff)
+        assert "identical: no" in text.lower() and "l2.hits" in text
+        markdown = render_diff_markdown(diff)
+        assert markdown.startswith("## Run diff") and "| `l2.hits` |" in markdown
+
+
+class TestResolveReport:
+    def test_bare_report_file(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(_make_report().to_dict()))
+        report, label = resolve_report(str(path))
+        assert report.counters == _make_report().counters
+        assert label.endswith("report.json")
+
+    def test_store_blob_file(self, tmp_path):
+        path = tmp_path / "blob.json"
+        path.write_text(json.dumps({"report": _make_report().to_dict(), "meta": {}}))
+        report, _ = resolve_report(str(path))
+        assert report.cycles == 5000
+
+    def test_run_json_payload_rejected_with_guidance(self, tmp_path):
+        # `run --json` emits derived metrics without raw counters: undiffable
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps({"workload": "CM", "policy": "CacheRW", "cycles": 1}))
+        with pytest.raises(ValueError, match="counters"):
+            resolve_report(str(path))
+
+    def test_ledger_reference(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        report = _make_report()
+        ledger.record(
+            run_entry(
+                kind="run",
+                fingerprint_hex="ab" * 32,
+                workload=report.workload,
+                policy=report.policy,
+                cycles=report.cycles,
+                counters=report.counters,
+            )
+        )
+        resolved, label = resolve_report("-1", ledger=ledger)
+        assert resolved.counters == report.counters
+        assert label == "ledger:-1"
+
+    def test_ledger_entry_without_counters_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.record(run_entry(kind="sweep", fingerprint_hex=None, workload="s", policy="*"))
+        with pytest.raises(ValueError, match="no counters"):
+            resolve_report("-1", ledger=ledger)
+
+    def test_unresolvable_reference(self, tmp_path):
+        with pytest.raises(ValueError):
+            resolve_report("no-such-thing", ledger=RunLedger(tmp_path / "l.jsonl"))
+
+
+# ----------------------------------------------------------------------
+# bench history (the fast parts; measurement itself is integration-tested)
+# ----------------------------------------------------------------------
+class TestBenchHistory:
+    def _measurement(self, events: int = 1000, seconds=(0.5, 0.4, 0.6)) -> BenchMeasurement:
+        return BenchMeasurement(
+            benchmark="core_events_per_second",
+            events=events,
+            cycles=500,
+            seconds=tuple(seconds),
+        )
+
+    def test_median_of_samples(self):
+        measurement = self._measurement()
+        assert measurement.samples == 3
+        assert measurement.median_seconds == 0.5
+        assert measurement.events_per_sec == pytest.approx(2000.0)
+
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = append_history(path, self._measurement(seconds=(0.5,)))
+        assert entry["schema"] == 1
+        assert entry["events_per_sec"] == pytest.approx(2000.0)
+        append_history(path, self._measurement(seconds=(0.25,)))
+        assert load_history(path) == [pytest.approx(2000.0), pytest.approx(4000.0)]
+
+    def test_model_change_starts_fresh_history(self, tmp_path):
+        # entries recorded under a different event count (older model) are
+        # not comparable and must be dropped, not averaged in
+        path = tmp_path / "history.jsonl"
+        append_history(path, self._measurement(events=1000, seconds=(0.5,)))
+        append_history(path, self._measurement(events=2000, seconds=(0.5,)))
+        assert load_history(path) == [pytest.approx(4000.0)]
+
+    def test_history_cap(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for index in range(5):
+            append_history(path, self._measurement(seconds=(0.1 + index,)), limit=3)
+        assert len(load_history(path)) == 3
+
+    def test_committed_baseline_reads_key(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        path.write_text(json.dumps({"regression_baseline": 123000}))
+        assert committed_baseline(path) == 123000
+        assert committed_baseline(tmp_path / "absent.json") is None
+
+
+class TestObsConfig:
+    def test_enabled(self):
+        assert not ObsConfig().enabled
+        assert ObsConfig(ledger_path="x").enabled
+        assert ObsConfig(alerts=AlertConfig()).enabled

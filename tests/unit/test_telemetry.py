@@ -298,6 +298,56 @@ class TestMetricsSampler:
         with pytest.raises(ValueError):
             derive_window({"start": 0, "end": 1})
 
+    def test_derive_window_zero_access_window(self):
+        # a quiet window (e.g. a stalled tenant): traffic counters moved but
+        # no cache access did -- every ratio must come out 0.0, not NaN/raise
+        window = {
+            "start": 500,
+            "end": 1000,
+            "counters": {
+                "l1.accesses": 0,
+                "l1.hits": 0,
+                "l2.accesses": 0,
+                "dram.accesses": 12,
+                "gpu.mem_requests": 0,
+            },
+        }
+        derived = derive_window(window)
+        assert derived["l1_hit_rate"] == 0.0
+        assert derived["l2_hit_rate"] == 0.0
+        assert derived["remote_fraction"] == 0.0
+        assert derived["mem_requests"] == 0
+        assert derived["stream_traffic"] == {}
+
+    def test_derive_window_counters_absent_from_deltas(self):
+        # the sampler records only counters that *moved* in the window, so a
+        # window may carry hits without accesses (or neither); absent names
+        # must read as zero rather than KeyError
+        derived = derive_window(
+            {"start": 0, "end": 10, "counters": {"l1.hits": 3, "dram.reads": 4}}
+        )
+        assert derived["l1_hit_rate"] == 0.0  # denominator absent -> 0, not 3/0
+        assert derived["l2_hit_rate"] == 0.0
+        assert derived["mshr_blocked"] == 0
+        assert derived["mshr_coalesced"] == 0
+        assert derived["mem_requests"] == 0
+
+    def test_single_window_run_totals_and_derivation(self, sim, stats):
+        # an interval longer than the whole run yields exactly one finalize
+        # window whose deltas ARE the end-of-run counters
+        sampler = MetricsSampler(sim, stats, interval_cycles=10_000)
+        sampler.start(lambda: False)
+        stats.add("l1.accesses", 8)
+        stats.add("l1.hits", 2)
+        sim.run()
+        sampler.finalize(sim.now)
+        assert len(sampler.windows) == 1
+        window = sampler.windows[0]
+        assert windows_total([window]) == {"l1.accesses": 8, "l1.hits": 2}
+        derived = derive_window(window)
+        assert derived["l1_hit_rate"] == pytest.approx(0.25)
+        assert derived["start"] == 0 and derived["end"] == window["end"]
+
 
 class TestProfiler:
     def test_component_of_bound_method(self):
