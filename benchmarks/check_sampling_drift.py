@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI gate: a phase-sampled run stays inside the bounds it declares.
+
+Runs one workload twice -- exact and with phase-sampled fast-forward --
+and asserts, for every counter, ``|sampled - exact|`` is covered by the
+error estimate the sampled report itself declares, and that the headline
+counters the paper's figures are built from stay inside the 2% accuracy
+budget.  Exit code is the assertion; output is one line per violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_sampling_drift.py \
+        --workload FwLSTM --scale 1.0 [--budget 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accel import SamplingConfig
+from repro.core.policies import policy_by_name
+from repro.session import simulate
+from repro.workloads import get_workload
+
+#: the counters the paper's figures are built from
+HEADLINE = (
+    "gpu.vector_ops",
+    "gpu.mem_requests",
+    "l1.accesses",
+    "l1.hits",
+    "l2.accesses",
+    "l2.hits",
+    "dram.accesses",
+    "dram.reads",
+    "dram.writes",
+    "cycles",
+)
+
+
+def flat(report: dict) -> dict:
+    return dict(report["counters"], cycles=report["cycles"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="FwLSTM")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--policy", default="CacheRW")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.02,
+        help="max relative error allowed on headline counters (default 2%%)",
+    )
+    args = parser.parse_args(argv)
+
+    policy = policy_by_name(args.policy)
+    exact = flat(
+        simulate(get_workload(args.workload, scale=args.scale), policy).to_dict()
+    )
+    sampled_report = simulate(
+        get_workload(args.workload, scale=args.scale),
+        policy,
+        sampling=SamplingConfig(),
+    ).to_dict()
+    sampled = flat(sampled_report)
+    estimates = sampled_report.get("error_estimates", {})
+    summary = sampled_report.get("sampling", {})
+
+    violations = []
+    for name in sorted(set(exact) | set(sampled)):
+        exact_value = exact.get(name, 0)
+        sampled_value = sampled.get(name, 0)
+        drift = abs(sampled_value - exact_value)
+        declared = estimates.get(name, 0.0) * max(abs(sampled_value), 1)
+        if drift > declared + 0.5:
+            violations.append(
+                f"{name}: exact {exact_value}, sampled {sampled_value}, "
+                f"declared bound {declared:.2f}"
+            )
+        if name in HEADLINE:
+            relative = drift / max(abs(exact_value), 1)
+            if relative > args.budget:
+                violations.append(
+                    f"{name}: headline error {relative:.4f} exceeds "
+                    f"budget {args.budget}"
+                )
+
+    skipped = summary.get("skipped_fraction", 0.0)
+    print(
+        f"{args.workload}@{args.scale}: {len(sampled)} counters checked, "
+        f"{skipped:.0%} of kernels fast-forwarded, "
+        f"{len(violations)} violation(s)"
+    )
+    for line in violations:
+        print(" ", line)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,15 +53,18 @@ from pathlib import Path
 from repro.config import scaled_config
 from repro.core.policies import CACHE_RW
 from repro.obs.bench import (
+    EFFECTIVE_BENCHMARK,
     REFERENCE_CUS,
     REFERENCE_SCALE,
     REFERENCE_WORKLOAD,
     append_history,
     committed_baseline,
     default_history_path,
+    effective_reference,
     evaluate_measurement,
     load_history,
     measure_core_throughput,
+    measure_effective_throughput,
 )
 from repro.session import SimulationSession
 from repro.topology import TopologyConfig
@@ -111,6 +114,19 @@ BENCH_TOPOLOGY_RUN_PATH = (
 #: core reference; re-measure the committed baseline if it must change.
 TOPOLOGY_DEVICES = 2
 TOPOLOGY_CUS_PER_DEVICE = 2
+
+#: per-run record of the accelerated (sampled + sharded) smoke; its
+#: committed baseline lives under the "effective" key of BENCH_core.json
+BENCH_EFFECTIVE_RUN_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_effective_run.json"
+)
+
+#: unconditional floor for *effective* throughput (represented events per
+#: wall second with sampling + sharding on).  The PR-10 target is >= 1M
+#: on the reference container; the floor sits below that so a slower
+#: tier-1 host doesn't flake, while still catching an acceleration-stack
+#: collapse (e.g. sampling silently disabled would land near 100k)
+MIN_EFFECTIVE_EVENTS_PER_SEC = 500_000
 
 
 def _committed_record() -> dict:
@@ -298,4 +314,93 @@ def test_topology_events_per_second():
         "multi-device throughput regressed: " + "; ".join(verdict.reasons)
         + "; if this machine is simply slower than the reference container, set "
         "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured baseline"
+    )
+
+
+def test_effective_events_per_second():
+    """Accelerated smoke: sampled + sharded *effective* throughput.
+
+    Runs the fixed accelerated reference (four partitioned FwLSTM tenants
+    at scale 8 on the 16-CU system, four shard processes, aggressive
+    phase sampling) through
+    :func:`repro.obs.bench.measure_effective_throughput` and judges
+    represented events per wall second -- simulated plus extrapolated --
+    with the same two gates as the core smoke: the committed flat gate
+    (under the ``effective`` key of BENCH_core.json, judging the fastest
+    repetition) and the per-machine robust history gate (judging the
+    median, recorded to the shared history file under its own benchmark
+    name).  An unconditional 500k floor catches the acceleration stack
+    silently collapsing to exact speed regardless of host.
+    """
+    history_path = default_history_path()
+    prior_history = load_history(history_path, benchmark=EFFECTIVE_BENCHMARK)
+
+    measurement = measure_effective_throughput(samples=SAMPLES)
+    append_history(history_path, measurement)
+
+    events_per_sec = measurement.events_per_sec
+    flat_verdict = evaluate_measurement(
+        measurement.best_events_per_sec,
+        baseline=(
+            committed_baseline(BENCH_PATH, section="effective")
+            if MAX_REGRESSION > 0
+            else None
+        ),
+        max_regression=MAX_REGRESSION,
+    )
+    history_verdict = evaluate_measurement(
+        events_per_sec,
+        history=prior_history,
+        baseline=None,
+        mad_factor=MAD_FACTOR,
+        min_history=MIN_HISTORY,
+    )
+    verdict_ok = flat_verdict.ok and history_verdict.ok
+    verdict_reasons = flat_verdict.reasons + history_verdict.reasons
+
+    record = {
+        "schema": 2,
+        "benchmark": EFFECTIVE_BENCHMARK,
+        "reference": effective_reference(),
+        "events": measurement.events,
+        "executed_events": measurement.executed_events,
+        "cycles": measurement.cycles,
+        "samples": measurement.samples,
+        "seconds": [round(s, 4) for s in measurement.seconds],
+        "median_seconds": round(measurement.median_seconds, 4),
+        "events_per_sec": round(events_per_sec),
+        "best_events_per_sec": round(measurement.best_events_per_sec),
+        "verdict": {
+            "ok": verdict_ok,
+            "reasons": verdict_reasons,
+            "flat": flat_verdict.as_dict(),
+            "history": history_verdict.as_dict(),
+        },
+        "history_path": str(history_path),
+        "history_samples": len(prior_history),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[:1],
+    }
+    BENCH_EFFECTIVE_RUN_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    assert measurement.executed_events is not None
+    amplification = measurement.events / max(measurement.executed_events, 1)
+    print(
+        f"\neffective perf smoke: {measurement.events} represented events "
+        f"({measurement.executed_events} simulated, {amplification:.1f}x), "
+        f"median of {measurement.samples} samples = {events_per_sec:,.0f} "
+        f"effective events/sec, recorded to {BENCH_EFFECTIVE_RUN_PATH.name}"
+    )
+
+    assert measurement.events > 0 and measurement.cycles > 0
+    assert events_per_sec >= MIN_EFFECTIVE_EVENTS_PER_SEC, (
+        f"effective throughput collapsed: {events_per_sec:,.0f} events/sec is "
+        f"below the {MIN_EFFECTIVE_EVENTS_PER_SEC:,} floor; "
+        f"see {BENCH_EFFECTIVE_RUN_PATH}"
+    )
+    assert verdict_ok, (
+        "effective throughput regressed: " + "; ".join(verdict_reasons) + "; if "
+        "this machine is simply slower than the reference container, set "
+        "REPRO_BENCH_MAX_REGRESSION=0 or commit a re-measured BENCH_core.json "
+        f"(history: {history_path})"
     )

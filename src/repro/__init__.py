@@ -35,6 +35,7 @@ Quickstart::
         print(policy.name, report.cycles, report.dram_accesses)
 """
 
+from repro.accel import SamplingConfig, ShardConfig
 from repro.adaptive import (
     AdaptiveConfig,
     DynamicPolicyController,
@@ -165,6 +166,9 @@ __all__ = [
     "FAULT_PLAN_NAMES",
     "fault_plan_by_name",
     "generate_fault_plan",
+    # acceleration: phase-sampled fast-forward + sharded execution
+    "SamplingConfig",
+    "ShardConfig",
     # simulation
     "SimulationSession",
     "simulate",

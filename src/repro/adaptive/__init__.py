@@ -25,7 +25,7 @@ persistent result store exactly like static runs do.
 
 from repro.adaptive.config import AdaptiveConfig
 from repro.adaptive.controller import DynamicPolicyController, DynamicPolicyEngine
-from repro.adaptive.phase import PhaseDetector, PhaseSample
+from repro.adaptive.phase import PhaseDetector, PhaseSample, phase_changed
 from repro.adaptive.set_dueling import DuelScore, SetDuelingMonitor
 
 __all__ = [
@@ -36,4 +36,5 @@ __all__ = [
     "PhaseDetector",
     "PhaseSample",
     "SetDuelingMonitor",
+    "phase_changed",
 ]

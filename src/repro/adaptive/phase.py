@@ -32,7 +32,7 @@ from typing import Callable, List, Optional
 from repro.engine import Simulator
 from repro.stats import StatsCollector
 
-__all__ = ["PhaseDetector", "PhaseSample"]
+__all__ = ["PhaseDetector", "PhaseSample", "phase_changed"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,33 @@ class PhaseSample:
     arithmetic_intensity: float
     hit_rate: float
     write_fraction: float
+
+
+def phase_changed(
+    reference: PhaseSample,
+    sample: PhaseSample,
+    intensity_delta: float,
+    hit_rate_delta: float,
+    write_fraction_delta: float,
+) -> bool:
+    """Whether ``sample`` represents a different phase than ``reference``.
+
+    Arithmetic intensity is compared relatively (intensities span orders
+    of magnitude across layers); hit rate and write fraction are bounded
+    ratios and compare absolutely.  Shared by :class:`PhaseDetector` and
+    the fast-forward sampler in :mod:`repro.accel.sampling`, which uses
+    the same thresholds to decide when repeated kernels are steady.
+    """
+    base_intensity = max(reference.arithmetic_intensity, 1e-9)
+    relative_intensity = (
+        abs(sample.arithmetic_intensity - reference.arithmetic_intensity)
+        / base_intensity
+    )
+    if relative_intensity > intensity_delta:
+        return True
+    if abs(sample.hit_rate - reference.hit_rate) > hit_rate_delta:
+        return True
+    return abs(sample.write_fraction - reference.write_fraction) > write_fraction_delta
 
 
 class PhaseDetector:
@@ -169,18 +196,12 @@ class PhaseDetector:
                 self.sim.schedule(0, lambda cb=listener: cb(sample))
 
     def _changed(self, reference: PhaseSample, sample: PhaseSample) -> bool:
-        base_intensity = max(reference.arithmetic_intensity, 1e-9)
-        relative_intensity = (
-            abs(sample.arithmetic_intensity - reference.arithmetic_intensity)
-            / base_intensity
-        )
-        if relative_intensity > self.intensity_delta:
-            return True
-        if abs(sample.hit_rate - reference.hit_rate) > self.hit_rate_delta:
-            return True
-        return (
-            abs(sample.write_fraction - reference.write_fraction)
-            > self.write_fraction_delta
+        return phase_changed(
+            reference,
+            sample,
+            intensity_delta=self.intensity_delta,
+            hit_rate_delta=self.hit_rate_delta,
+            write_fraction_delta=self.write_fraction_delta,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -115,7 +115,10 @@ from repro.experiments.store import ResultStore, default_cache_dir
 from repro.faults import FAULT_PLAN_NAMES, FAULT_PLANS, fault_plan_by_name
 from repro.ioutil import atomic_write_json
 from repro.log import configure as configure_logging
+from repro.accel import SamplingConfig, ShardConfig
 from repro.obs import (
+    CORE_BENCHMARK,
+    EFFECTIVE_BENCHMARK,
     AlertConfig,
     ObsConfig,
     RunLedger,
@@ -126,6 +129,7 @@ from repro.obs import (
     evaluate_measurement,
     load_history,
     measure_core_throughput,
+    measure_effective_throughput,
     render_diff_markdown,
     render_diff_table,
     resolve_report,
@@ -330,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--topology", default=None, choices=list(TOPOLOGY_NAMES),
         help="simulate on a registered multi-device topology",
+    )
+    run.add_argument(
+        "--sampling", action="store_true",
+        help="phase-sampled fast-forward: skip steady-state kernel repeats "
+        "and extrapolate their counters (the report carries per-counter "
+        "error estimates)",
     )
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
     run.add_argument(
@@ -641,6 +651,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("action", choices=["record", "check"])
     bench.add_argument(
+        "--benchmark", choices=["core", "effective"], default="core",
+        help="which sentinel to measure: the exact core run, or the "
+        "accelerated (sampled + sharded) effective-throughput run "
+        "(default: core)",
+    )
+    bench.add_argument(
         "--samples", type=int, default=3, metavar="N",
         help="timed repetitions; the median is the measurement (default: 3)",
     )
@@ -895,13 +911,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     topology = topology_by_name(args.topology) if args.topology else None
     telemetry = _telemetry_config(args)
     obs = _obs_config(args)
+    sampling = SamplingConfig() if getattr(args, "sampling", False) else None
     if telemetry is None and obs is None:
-        report = simulate(workload, policy, config=_system_config(args), topology=topology)
+        report = simulate(
+            workload,
+            policy,
+            config=_system_config(args),
+            topology=topology,
+            sampling=sampling,
+        )
     else:
         session = SimulationSession(
             policy=policy,
             config=_system_config(args),
             topology=topology,
+            sampling=sampling,
             telemetry=telemetry,
             obs=obs,
         )
@@ -919,6 +943,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if report.alerts:
         # same touched-gating: only --alerts runs can populate this
         payload["alerts"] = report.alerts
+    if report.sampling:
+        # only accelerated runs carry this block, so exact runs keep the
+        # historical payload byte-for-byte
+        payload["sampling"] = report.sampling
+        if report.error_estimates:
+            payload["max_error_estimate"] = max(report.error_estimates.values())
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -926,6 +956,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             payload["metrics"] = f"{len(report.metrics)} windows"
         if report.alerts:
             payload["alerts"] = f"{len(report.alerts)} fired"
+        if report.sampling:
+            skipped = report.sampling.get("skipped_fraction", 0.0)
+            payload["sampling"] = f"{float(skipped):.0%} kernels skipped"
         print(render_kv_table(label, payload))
     if getattr(args, "alerts", False):
         _print_alerts(report, "run")
@@ -1719,8 +1752,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: --samples must be at least 1, got {args.samples}", file=sys.stderr)
         return 2
     history_path = Path(args.history).expanduser() if args.history else default_history_path()
+    effective = getattr(args, "benchmark", "core") == "effective"
+    measure = measure_effective_throughput if effective else measure_core_throughput
+    benchmark_name = EFFECTIVE_BENCHMARK if effective else CORE_BENCHMARK
+    baseline_section = "effective" if effective else None
     if args.action == "record":
-        measurement = measure_core_throughput(samples=args.samples)
+        measurement = measure(samples=args.samples)
         entry = append_history(history_path, measurement)
         if args.json:
             print(json.dumps(entry, indent=1, sort_keys=True))
@@ -1734,13 +1771,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                         "median_seconds": entry["median_seconds"],
                         "samples": entry["samples"],
                         "history": str(history_path),
-                        "history_entries": len(load_history(history_path)),
+                        "history_entries": len(
+                            load_history(history_path, benchmark=benchmark_name)
+                        ),
                     },
                 )
             )
         return 0
     # check
-    history = load_history(history_path)
+    history = load_history(history_path, benchmark=benchmark_name)
     if args.use_last:
         if not history:
             print(
@@ -1751,12 +1790,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         value, prior = history[-1], history[:-1]
     else:
-        measurement = measure_core_throughput(samples=args.samples)
+        measurement = measure(samples=args.samples)
         value, prior = measurement.events_per_sec, history
     verdict = evaluate_measurement(
         value,
         history=prior,
-        baseline=committed_baseline(),
+        baseline=committed_baseline(section=baseline_section),
         max_regression=args.max_regression,
         mad_factor=args.mad_factor,
         min_history=args.min_history,

@@ -164,30 +164,31 @@ class EventQueue:
         """
         # Hot loop: locals for everything touched per event, one heap pop
         # per event (no separate peek traversal), and a single truth test
-        # for the (empty, in practice) cancelled set.
+        # for the (empty, in practice) cancelled set.  The executed count
+        # is committed per event (not batched on exit) so callbacks that
+        # read ``self.executed`` mid-run -- the fast-forward sampler's
+        # per-kernel measurements -- observe a live value.
         heap = self._heap
         pop = heappop
         cancelled = self._cancelled
         executed = 0
-        try:
-            while heap:
-                if max_events is not None and executed >= max_events:
-                    break
-                if until is not None and heap[0][0] > until:
-                    self._now = until
-                    break
-                time, seq, callback = pop(heap)
-                if cancelled and seq in cancelled:
-                    cancelled.discard(seq)
-                    continue
-                self._now = time
-                executed += 1
-                callback()
-            if not heap and cancelled:
-                # drained: no pending entry can match, drop any stale seqs
-                cancelled.clear()
-        finally:
-            self._executed += executed
+        while heap:
+            if max_events is not None and executed >= max_events:
+                break
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                break
+            time, seq, callback = pop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time
+            executed += 1
+            self._executed += 1
+            callback()
+        if not heap and cancelled:
+            # drained: no pending entry can match, drop any stale seqs
+            cancelled.clear()
         return self._now
 
     def run_profiled(
@@ -226,12 +227,12 @@ class EventQueue:
                     continue
                 self._now = time
                 executed += 1
+                self._executed += 1
                 started = perf_counter()
                 callback()
                 record(callback, perf_counter() - started)
             if not heap and cancelled:
                 cancelled.clear()
         finally:
-            self._executed += executed
             profiler.add_wall(perf_counter() - wall_start)
         return self._now

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Protocol, Sequence
 
+from repro.accel.config import SamplingConfig, ShardConfig
 from repro.adaptive.config import AdaptiveConfig
 from repro.config import SystemConfig, default_config
 from repro.core.policies import PolicySpec
@@ -98,6 +99,20 @@ class JobSpec:
             to no plan at all (it is bit-identical by construction), so
             the healthy baseline of a resilience sweep shares its store
             entry with ordinary serving runs.
+        sampling: when given (and enabled), the run fast-forwards
+            steady-state kernel repeats and extrapolates their counters
+            (:mod:`repro.accel.sampling`).  Sampled results are
+            approximations, so the sampling parameters are part of the
+            fingerprint: a sampled run can never collide with an exact
+            one in the store.  A *disabled* config fingerprints
+            identically to no config (exact mode is bit-identical by
+            construction), so exact baselines keep their warm cells.
+        shards: when given (and ``num_shards > 1``), the run executes as
+            epoch-synchronized worker processes
+            (:mod:`repro.accel.shard`).  Merged shard reports differ
+            from monolithic ones (``shard.*`` counters, merge rounding),
+            so the shard geometry is fingerprinted the same way: a
+            single-shard config hashes as ``None``.
     """
 
     workload: str
@@ -110,6 +125,8 @@ class JobSpec:
     topology: Optional[TopologyConfig] = None
     streams: Optional[tuple[StreamConfig, ...]] = None
     faults: Optional[FaultPlan] = None
+    sampling: Optional[SamplingConfig] = None
+    shards: Optional[ShardConfig] = None
 
     def fingerprint(self) -> str:
         """Stable key over every input that can affect the result.
@@ -144,6 +161,19 @@ class JobSpec:
                     if self.faults is None or self.faults.empty
                     else self.faults.describe()
                 ),
+                # same idiom for the fast modes: exact mode (sampling
+                # disabled, one shard) hashes as None, so sampled/sharded
+                # runs never collide with exact baselines in the store
+                "sampling": (
+                    None
+                    if self.sampling is None or self.sampling.empty
+                    else self.sampling.describe()
+                ),
+                "shards": (
+                    None
+                    if self.shards is None or self.shards.empty
+                    else self.shards.describe()
+                ),
             },
             kind="JobSpec",
         )
@@ -167,6 +197,10 @@ class JobSpec:
         if self.faults is not None and not self.faults.empty:
             summary["faults"] = self.faults.label
             summary["fault_events"] = len(self.faults.events)
+        if self.sampling is not None and not self.sampling.empty:
+            summary["sampling"] = self.sampling.describe()
+        if self.shards is not None and not self.shards.empty:
+            summary["shards"] = self.shards.describe()
         return summary
 
 
@@ -182,6 +216,8 @@ def execute_job(job: JobSpec) -> RunReport:
             topology=job.topology,
             streams=job.streams,
             faults=job.faults,
+            sampling=job.sampling,
+            shards=job.shards,
         )
     workload = get_workload(job.workload, scale=job.scale)
     return simulate(
@@ -193,6 +229,8 @@ def execute_job(job: JobSpec) -> RunReport:
         adaptive=job.adaptive,
         topology=job.topology,
         faults=job.faults,
+        sampling=job.sampling,
+        shards=job.shards,
     )
 
 
@@ -465,7 +503,7 @@ class ProcessPoolBackend:
         if workers is not None:
             workers = min(workers, len(pending))
         errors: dict[int, BaseException] = {}
-        timed_out = False
+        abandon = False
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             # submit + as_completed (rather than pool.map) so the callback
@@ -491,17 +529,25 @@ class ProcessPoolBackend:
                     if on_result is not None:
                         on_result(index, report)
             except FuturesTimeoutError:
-                timed_out = True
+                abandon = True
                 for index in futures.values():
                     if reports[index] is None and index not in errors:
                         errors[index] = FuturesTimeoutError(
                             f"job did not finish within {self.timeout}s "
                             f"(attempt {attempt})"
                         )
+            except BaseException:
+                # a non-job exception escaping the drain loop (an
+                # on_result callback raising, KeyboardInterrupt, ...)
+                # must not wait on still-running -- possibly stuck --
+                # workers either; abandon the pool and let it propagate
+                abandon = True
+                raise
         finally:
-            # on timeout the stuck worker must not hold the sweep hostage:
-            # abandon the pool without waiting and let a fresh one retry
-            pool.shutdown(wait=not timed_out, cancel_futures=True)
+            # never hold the sweep hostage for a pool being discarded:
+            # on timeout or any escaping exception, shut down without
+            # waiting and let a fresh pool run the retry
+            pool.shutdown(wait=not abandon, cancel_futures=True)
         return errors
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

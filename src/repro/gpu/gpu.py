@@ -180,6 +180,11 @@ class Gpu:
         #: optional telemetry TraceRecorder (same None-test pattern as the
         #: dispatch log: per kernel launch/completion, never per event)
         self.trace = None
+        #: optional fast-forward gate: called once per kernel launch with
+        #: ``(stream_id, kernel)``; returning False skips the kernel (the
+        #: sampler extrapolates its counters at finalize).  Same one
+        #: None-test per launch as the dispatch log, nothing per event.
+        self.kernel_filter: Optional[Callable[[int, object], bool]] = None
 
     def attach_trace(self, recorder) -> None:
         """Attach a telemetry trace recorder to the GPU and its CUs."""
@@ -321,6 +326,16 @@ class Gpu:
             self._stream_finished(stream)
             return
         kernel = stream.kernels.popleft()
+        if self.kernel_filter is not None and not self.kernel_filter(
+            stream.stream_id, kernel
+        ):
+            # fast-forward: the sampler declared this instance a steady
+            # repeat; account for the slot, keep the dispatch rotation
+            # where the exact run would leave it, and move straight on
+            stream.kernel_index += 1
+            self._skip_dispatch_rotation(stream, kernel)
+            self._schedule_launch(stream, 0)
+            return
         stream.current_kernel = kernel
         stream.kernel_index += 1
         self.stats.add("gpu.kernels_launched")
@@ -356,6 +371,50 @@ class Gpu:
                     (next(self._wavefront_ids), stream.kernel_index, program)
                 )
         self._fill_cus()
+
+    def _skip_dispatch_rotation(self, stream: _StreamState, kernel) -> None:
+        """Advance the round-robin dispatch pointers past a skipped kernel.
+
+        A stream's kernels serialize, so when a kernel launches its CUs
+        are idle and every wavefront dispatches on the first pass: the
+        pointer moves by exactly the wavefront count.  Replaying that
+        advance for skipped kernels keeps the kernels that *are*
+        simulated on the same CUs as in the exact run -- without it the
+        per-CU attribution (link transfers, contention) drifts even
+        though the global totals stay exact.
+        """
+        if self._partitioned or self.cus_per_device is not None:
+            # mirror the enqueue path's per-device spread (device tags,
+            # round-robin for untagged wavefronts)
+            num_devices = self._num_devices
+            per_device = [0] * num_devices
+            if self.cus_per_device is None:
+                per_device[0] = kernel.num_wavefronts
+            else:
+                for index, program in enumerate(kernel.wavefronts):
+                    device = (
+                        program.device
+                        if program.device is not None
+                        else index % num_devices
+                    )
+                    per_device[device % num_devices] += 1
+            if self._partitioned:
+                for device, share in enumerate(per_device):
+                    _, count = stream.cu_ranges[device]
+                    if count:
+                        stream.next_cu_in_range[device] = (
+                            stream.next_cu_in_range[device] + share
+                        ) % count
+            else:
+                cus_per_device = self.cus_per_device
+                for device, share in enumerate(per_device):
+                    self._next_cu_of_device[device] = (
+                        self._next_cu_of_device[device] + share
+                    ) % cus_per_device
+        else:
+            self._next_cu = (
+                self._next_cu + kernel.num_wavefronts
+            ) % len(self.cus)
 
     def _reroute_device(self, device: int, salt: int) -> int:
         """Pick a surviving device for a wavefront homed on a failed one

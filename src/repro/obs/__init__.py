@@ -15,6 +15,8 @@ equivalence suites).
 
 from repro.obs.alerts import Alert, AlertConfig, detect_anomalies
 from repro.obs.bench import (
+    CORE_BENCHMARK,
+    EFFECTIVE_BENCHMARK,
     BenchMeasurement,
     append_history,
     committed_baseline,
@@ -22,6 +24,7 @@ from repro.obs.bench import (
     evaluate_measurement,
     load_history,
     measure_core_throughput,
+    measure_effective_throughput,
 )
 from repro.obs.config import ObsConfig
 from repro.obs.diff import (
@@ -41,6 +44,8 @@ __all__ = [
     "Alert",
     "AlertConfig",
     "BenchMeasurement",
+    "CORE_BENCHMARK",
+    "EFFECTIVE_BENCHMARK",
     "ObsConfig",
     "RunLedger",
     "append_history",
@@ -53,6 +58,7 @@ __all__ = [
     "evaluate_measurement",
     "load_history",
     "measure_core_throughput",
+    "measure_effective_throughput",
     "render_diff_markdown",
     "render_diff_table",
     "resolve_report",

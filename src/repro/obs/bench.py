@@ -41,10 +41,12 @@ __all__ = [
     "append_history",
     "committed_baseline",
     "default_history_path",
+    "effective_reference",
     "evaluate_measurement",
     "history_entry",
     "load_history",
     "measure_core_throughput",
+    "measure_effective_throughput",
 ]
 
 #: history entry schema; bump when the entry shape changes incompatibly
@@ -61,6 +63,18 @@ REFERENCE_WORKLOAD = "CM"
 REFERENCE_SCALE = 1.0
 REFERENCE_CUS = 4
 
+#: the *effective*-throughput benchmark: represented (simulated +
+#: extrapolated) events per wall-clock second with both acceleration
+#: modes on -- phase-sampled fast-forward composed with sharded
+#: execution.  The recipe is repetition-heavy on purpose: FwLSTM's
+#: per-timestep kernels are where sampling earns its keep.
+EFFECTIVE_BENCHMARK = "effective_events_per_second"
+EFFECTIVE_WORKLOAD = "FwLSTM"
+EFFECTIVE_SCALE = 8.0
+EFFECTIVE_STREAMS = 4
+EFFECTIVE_CUS = 16
+EFFECTIVE_SHARDS = 4
+
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 
 
@@ -73,27 +87,49 @@ def default_history_path() -> Path:
     return _REPO_ROOT / "BENCH_history.jsonl"
 
 
-def committed_baseline(path: Optional[Path] = None) -> Optional[float]:
+def committed_baseline(
+    path: Optional[Path] = None, section: Optional[str] = None
+) -> Optional[float]:
     """The committed reference-container baseline, or ``None`` when the
-    record is absent or unparseable (the flat gate then stays off)."""
+    record is absent or unparseable (the flat gate then stays off).
+
+    ``section`` selects a nested benchmark record inside
+    ``BENCH_core.json`` (e.g. ``"topology"`` or ``"effective"``); the
+    default reads the top-level core benchmark.
+    """
     target = path if path is not None else _REPO_ROOT / "BENCH_core.json"
     try:
         record = json.loads(Path(target).read_text(encoding="utf-8"))
     except (OSError, ValueError):
         return None
+    if section is not None:
+        record = record.get(section)
+        if not isinstance(record, dict):
+            return None
     baseline = record.get("regression_baseline") or record.get("events_per_sec")
     return float(baseline) if baseline else None
 
 
 @dataclass(frozen=True)
 class BenchMeasurement:
-    """One median-of-N throughput measurement of the reference run."""
+    """One median-of-N throughput measurement of a reference run.
+
+    For the effective benchmark, ``events`` counts *represented* events
+    (simulated plus extrapolated) and ``executed_events`` the subset the
+    shards actually simulated; for the exact core benchmark the two
+    coincide and ``executed_events`` stays ``None``.
+    """
 
     benchmark: str
     events: int
     cycles: int
     #: wall time of each repetition, in sampling order
     seconds: tuple[float, ...]
+    #: events actually simulated (None = exact run, equals ``events``)
+    executed_events: Optional[int] = None
+    #: reference-run metadata stamped into history entries; ``None``
+    #: falls back to the core reference block
+    reference: Optional[dict] = None
 
     @property
     def samples(self) -> int:
@@ -171,9 +207,97 @@ def measure_core_throughput(samples: int = 3, warmup: bool = True) -> BenchMeasu
     )
 
 
+def effective_reference() -> dict[str, object]:
+    """The effective benchmark's reference-run metadata block."""
+    return {
+        "workload": EFFECTIVE_WORKLOAD,
+        "scale": EFFECTIVE_SCALE,
+        "streams": EFFECTIVE_STREAMS,
+        "num_cus": EFFECTIVE_CUS,
+        "shards": EFFECTIVE_SHARDS,
+        "policy": CACHE_RW.name,
+        "sampling": {"warmup_instances": 1, "measure_instances": 1},
+    }
+
+
+def measure_effective_throughput(
+    samples: int = 3, warmup: bool = True
+) -> BenchMeasurement:
+    """Time ``samples`` repetitions of the accelerated reference run.
+
+    The run is ``EFFECTIVE_STREAMS`` partitioned FwLSTM tenants at scale
+    ``EFFECTIVE_SCALE`` on the ``EFFECTIVE_CUS``-CU system, split into
+    ``EFFECTIVE_SHARDS`` worker processes with aggressive phase sampling
+    (one warmup + one measured instance per kernel signature).  The
+    *represented* event count -- simulated plus extrapolated -- is the
+    throughput numerator; like the core benchmark it must be identical
+    across repetitions, or the acceleration stack went nondeterministic.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be positive, got {samples}")
+    from repro.accel.config import SamplingConfig, ShardConfig
+    from repro.session import simulate
+    from repro.streams.config import StreamConfig
+
+    streams = tuple(
+        StreamConfig(workload=EFFECTIVE_WORKLOAD, scale=EFFECTIVE_SCALE, cu_share="partitioned")
+        for _ in range(EFFECTIVE_STREAMS)
+    )
+    sampling = SamplingConfig(warmup_instances=1, measure_instances=1)
+    shards = ShardConfig(num_shards=EFFECTIVE_SHARDS, axis="streams")
+
+    def run():
+        return simulate(
+            policy=CACHE_RW,
+            config=scaled_config(EFFECTIVE_CUS),
+            streams=streams,
+            sampling=sampling,
+            shards=shards,
+        )
+
+    if warmup:
+        # a small sharded run pays the one-time fork/import costs so the
+        # first timed sample is not charged for them
+        simulate(
+            policy=CACHE_RW,
+            config=scaled_config(EFFECTIVE_CUS),
+            streams=tuple(
+                StreamConfig(workload=EFFECTIVE_WORKLOAD, scale=0.5, cu_share="partitioned")
+                for _ in range(2)
+            ),
+            sampling=sampling,
+            shards=ShardConfig(num_shards=2, axis="streams"),
+        )
+    seconds: list[float] = []
+    represented = executed = cycles = None
+    for _ in range(samples):
+        start = time.perf_counter()
+        report = run()
+        seconds.append(time.perf_counter() - start)
+        run_repr = int(report.sampling["represented_events"])
+        run_exec = int(report.sampling["executed_events"])
+        if represented is None:
+            represented, executed, cycles = run_repr, run_exec, report.cycles
+        elif (run_repr, run_exec, report.cycles) != (represented, executed, cycles):
+            raise AssertionError(
+                "the accelerated reference run went nondeterministic: "
+                f"{run_repr}/{run_exec} events, {report.cycles} cycles vs "
+                f"{represented}/{executed}, {cycles} on an earlier sample"
+            )
+    assert represented is not None and cycles is not None
+    return BenchMeasurement(
+        benchmark=EFFECTIVE_BENCHMARK,
+        events=represented,
+        cycles=cycles,
+        seconds=tuple(seconds),
+        executed_events=executed,
+        reference=effective_reference(),
+    )
+
+
 def history_entry(measurement: BenchMeasurement) -> dict[str, object]:
     """One ``BENCH_history.jsonl`` entry for a finished measurement."""
-    return {
+    entry = {
         "schema": HISTORY_SCHEMA,
         "benchmark": measurement.benchmark,
         "ts": round(time.time(), 3),
@@ -183,15 +307,22 @@ def history_entry(measurement: BenchMeasurement) -> dict[str, object]:
         "seconds": [round(s, 4) for s in measurement.seconds],
         "median_seconds": round(measurement.median_seconds, 4),
         "events_per_sec": round(measurement.events_per_sec),
-        "reference": {
-            "workload": REFERENCE_WORKLOAD,
-            "scale": REFERENCE_SCALE,
-            "num_cus": REFERENCE_CUS,
-            "policy": CACHE_RW.name,
-        },
+        "reference": (
+            dict(measurement.reference)
+            if measurement.reference is not None
+            else {
+                "workload": REFERENCE_WORKLOAD,
+                "scale": REFERENCE_SCALE,
+                "num_cus": REFERENCE_CUS,
+                "policy": CACHE_RW.name,
+            }
+        ),
         "python": platform.python_version(),
         "host": platform.node(),
     }
+    if measurement.executed_events is not None:
+        entry["executed_events"] = measurement.executed_events
+    return entry
 
 
 def append_history(

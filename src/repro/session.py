@@ -27,6 +27,8 @@ import time
 from dataclasses import replace as dc_replace
 from typing import Optional, Sequence, Union
 
+from repro.accel.config import SamplingConfig, ShardConfig
+from repro.accel.sampling import KernelSampler
 from repro.adaptive.config import AdaptiveConfig
 from repro.adaptive.controller import DynamicPolicyController, DynamicPolicyEngine
 from repro.adaptive.phase import PhaseDetector
@@ -100,6 +102,17 @@ class SimulationSession:
             deterministically during the run; the report then carries
             ``faults.*`` resilience counters.  The empty plan injects
             nothing and is bit-identical to ``faults=None``.
+        sampling: when given (an enabled
+            :class:`~repro.accel.config.SamplingConfig`), fast-forward
+            steady-state kernel repeats: after a few measured instances
+            per kernel signature the remaining repeats are skipped and
+            their counters extrapolated with warmup correction, with
+            per-counter error bounds on ``report.error_estimates`` and a
+            summary on ``report.sampling``.  Sampling requires
+            unambiguous delta attribution, so it rejects adaptive runs,
+            fault plans with events, and serving mixes with more than
+            one stream.  A disabled config is bit-identical to
+            ``sampling=None`` (exact mode).
         telemetry: when given (a
             :class:`~repro.telemetry.TelemetryConfig`), attach the enabled
             observers -- trace recorder, metrics sampler, host profiler
@@ -126,6 +139,7 @@ class SimulationSession:
         topology: Optional[TopologyConfig] = None,
         streams: Optional[StreamsSpec] = None,
         faults: Optional[FaultPlan] = None,
+        sampling: Optional[SamplingConfig] = None,
         telemetry: Optional[TelemetryConfig] = None,
         obs: Optional[ObsConfig] = None,
     ) -> None:
@@ -258,6 +272,32 @@ class SimulationSession:
                 num_streams=len(self.streams) if self.streams is not None else 0,
             )
 
+        # fast-forward sampling: a disabled config is exact mode (the
+        # FaultPlan normalization idiom), so only an *enabled* one pays
+        # the one-None-test-per-launch filter hook
+        self.sampling = sampling if sampling is not None and not sampling.empty else None
+        self.kernel_sampler: Optional[KernelSampler] = None
+        if self.sampling is not None:
+            if adaptive is not None:
+                raise ValueError(
+                    "phase-sampled fast-forward does not compose with adaptive "
+                    "policy control: the controller must observe every kernel "
+                    "boundary, and skipped kernels have none"
+                )
+            if self.streams is not None and len(self.streams) > 1:
+                raise ValueError(
+                    "phase-sampled fast-forward needs unambiguous per-kernel "
+                    "counter attribution, so it supports at most one stream; "
+                    "shard a multi-stream run along the streams axis instead"
+                )
+            if faults is not None and not faults.empty:
+                raise ValueError(
+                    "phase-sampled fast-forward does not compose with fault "
+                    "injection: killed/restarted kernels break repeat measurement"
+                )
+            self.kernel_sampler = KernelSampler(self.sampling, self.sim, self.stats)
+            self.gpu.kernel_filter = self.kernel_sampler.filter
+
         # observability: strictly observers (no counter writes, no timing
         # changes); telemetry=None leaves every component's trace hook at
         # its None default -- the exact historical code path
@@ -295,53 +335,45 @@ class SimulationSession:
     # ------------------------------------------------------------------
     def run(self, workload: Workload | WorkloadTrace | None = None) -> RunReport:
         """Execute the workload (or the serving streams) and return the report."""
+        self.begin(workload)
+        self.sim.run()
+        return self.finish()
+
+    def begin(self, workload: Workload | WorkloadTrace | None = None) -> None:
+        """Schedule the run without advancing simulated time.
+
+        :meth:`run` is ``begin(); sim.run(); finish()``.  Shard workers
+        use the pieces directly: ``begin()`` once, :meth:`step` per
+        epoch, and ``finish()`` after the queue drains, so one session
+        can advance in bounded slices under an external coordinator.
+        """
         if self.streams is not None:
             if workload is not None:
                 raise ValueError(
                     "a serving session derives its workloads from the stream "
                     "configurations; run() takes no workload argument"
                 )
-            return self._run_streams()
+            self._begin_streams()
+            return
         if workload is None:
             raise ValueError("run() needs a workload (or a session with streams)")
-        wall_start = time.perf_counter()
+        self._wall_start = time.perf_counter()
         trace = workload.build_trace() if isinstance(workload, Workload) else workload
         if self.topology is not None:
             trace = partition_trace(
                 trace, self.topology, line_bytes=self.config.l2.line_bytes
             )
-        finished: list[int] = []
-
-        def on_complete() -> None:
-            finished.append(self.sim.now)
-            if self.injector is not None:
-                self.injector.finalize()
-
-        self.gpu.run_workload(trace, on_complete=on_complete)
+        self._run_label = trace.name
+        self._finished: list[int] = []
+        self.gpu.run_workload(trace, on_complete=self._on_complete)
         if self.controller is not None:
             self.controller.start(lambda: self.gpu.running)
         if self.sampler is not None:
             self.sampler.start(lambda: self.gpu.running)
-        self.sim.run()
-        if not finished:
-            raise RuntimeError(
-                f"simulation of {trace.name!r} under {self.policy_label} did not complete; "
-                "the event queue drained with work outstanding (model deadlock)"
-            )
-        cycles = finished[0]
-        report = RunReport.from_stats(
-            workload=trace.name,
-            policy=self.policy_label,
-            cycles=cycles,
-            stats=self.stats,
-            config=self.config,
-            metrics=self.sampler.windows if self.sampler is not None else None,
-        )
-        return self._observe(report, time.perf_counter() - wall_start)
 
-    def _run_streams(self) -> RunReport:
-        """Execute every configured stream concurrently to completion."""
-        wall_start = time.perf_counter()
+    def _begin_streams(self) -> None:
+        """Schedule every configured stream for concurrent execution."""
+        self._wall_start = time.perf_counter()
         line_bytes = self.config.l2.line_bytes
         traces = []
         for stream in self.streams:
@@ -357,34 +389,97 @@ class SimulationSession:
             alignment *= self.topology.interleave_lines * self.topology.num_devices
         traces = isolate_traces(traces, alignment)
         self.hierarchy.enable_stream_accounting(len(self.streams))
-        finished: list[int] = []
-
-        def on_complete() -> None:
-            finished.append(self.sim.now)
-            if self.injector is not None:
-                self.injector.finalize()
-
-        self.gpu.run_streams(traces, self.streams, on_complete=on_complete)
+        self._run_label = self.streams_label
+        self._finished = []
+        self.gpu.run_streams(traces, self.streams, on_complete=self._on_complete)
         if self.controller is not None:
             self.controller.start(lambda: self.gpu.running)
         if self.sampler is not None:
             self.sampler.start(lambda: self.gpu.running)
-        self.sim.run()
-        if not finished:
+
+    def _on_complete(self) -> None:
+        self._finished.append(self.sim.now)
+        if self.injector is not None:
+            self.injector.finalize()
+
+    def step(self, until: int) -> bool:
+        """Advance the event queue to simulated time ``until``.
+
+        Returns True once the scheduled work has completed.  Bypasses
+        :meth:`Simulator.run` so finish hooks fire exactly once, from
+        the final drain -- the caller runs ``sim.run()`` before
+        :meth:`finish` when this returns True.
+        """
+        remaining = self.sim.max_events - self.sim.queue.executed
+        self.sim.queue.run(until=until, max_events=max(0, remaining))
+        if self.sim.queue.pending and self.sim.queue.executed >= self.sim.max_events:
             raise RuntimeError(
-                f"serving simulation of {self.streams_label!r} under "
-                f"{self.policy_label} did not complete; the event queue drained "
-                "with work outstanding (model deadlock)"
+                f"simulation exceeded the event budget of {self.sim.max_events} "
+                "events; a component is probably rescheduling itself without "
+                "making progress"
             )
+        return bool(self._finished)
+
+    def finish(self) -> RunReport:
+        """Build the run report after the event queue has drained."""
+        if not self._finished:
+            if self.streams is not None:
+                raise RuntimeError(
+                    f"serving simulation of {self.streams_label!r} under "
+                    f"{self.policy_label} did not complete; the event queue drained "
+                    "with work outstanding (model deadlock)"
+                )
+            raise RuntimeError(
+                f"simulation of {self._run_label!r} under {self.policy_label} did not complete; "
+                "the event queue drained with work outstanding (model deadlock)"
+            )
+        cycles = self._finished[0]
+        extrapolation = None
+        if self.kernel_sampler is not None:
+            extrapolation = self.kernel_sampler.finalize()
+            cycles += extrapolation.cycle_addition
         report = RunReport.from_stats(
-            workload=self.streams_label,
+            workload=self._run_label,
             policy=self.policy_label,
-            cycles=finished[0],
+            cycles=cycles,
             stats=self.stats,
             config=self.config,
             metrics=self.sampler.windows if self.sampler is not None else None,
         )
-        return self._observe(report, time.perf_counter() - wall_start)
+        if extrapolation is not None:
+            self._apply_sampling(report, extrapolation)
+        return self._observe(report, time.perf_counter() - self._wall_start)
+
+    def _apply_sampling(self, report: RunReport, extrapolation) -> None:
+        """Fold the fast-forward corrections into the finished report."""
+        counters = report.counters
+        for name, addition in extrapolation.counter_additions.items():
+            if addition:
+                counters[name] = counters.get(name, 0) + addition
+        # absolute cycle marks follow the corrected clock, they are never
+        # extrapolated additively
+        if "gpu.finish_cycle" in counters:
+            counters["gpu.finish_cycle"] = report.cycles
+        if self.streams is not None and len(self.streams) == 1:
+            if "stream0.finish_cycle" in counters:
+                counters["stream0.finish_cycle"] = report.cycles
+            if "stream0.cycles" in counters:
+                counters["stream0.cycles"] = report.cycles - self.streams[0].launch_cycle
+        estimates: dict[str, float] = {}
+        for name, absolute in extrapolation.error_bounds_abs.items():
+            final = report.cycles if name == "cycles" else counters.get(name, 0)
+            estimates[name] = absolute / max(abs(final), 1)
+        report.error_estimates = estimates
+        executed_events = self.sim.queue.executed
+        report.sampling = {
+            "mode": "phase_sampled",
+            "executed_kernels": extrapolation.executed_kernels,
+            "skipped_kernels": extrapolation.skipped_kernels,
+            "skipped_fraction": round(extrapolation.skipped_fraction, 6),
+            "signatures": extrapolation.signatures,
+            "executed_events": executed_events,
+            "represented_events": executed_events + extrapolation.event_addition,
+        }
 
     # ------------------------------------------------------------------
     # cross-run observability (post-run; never touches simulated results)
@@ -488,6 +583,8 @@ def simulate(
     topology: Optional[TopologyConfig] = None,
     streams: Optional[StreamsSpec] = None,
     faults: Optional[FaultPlan] = None,
+    sampling: Optional[SamplingConfig] = None,
+    shards: Optional[ShardConfig] = None,
     telemetry: Optional[TelemetryConfig] = None,
     obs: Optional[ObsConfig] = None,
 ) -> RunReport:
@@ -509,7 +606,32 @@ def simulate(
         from repro import simulate, CACHE_RW, mix_by_name
         report = simulate(policy=CACHE_RW, streams=mix_by_name("mha+fwlstm"))
         print(report.per_stream)
+
+    The fast simulation modes compose here too: ``sampling=`` enables
+    phase-sampled fast-forward inside each simulated process, and
+    ``shards=`` (with ``num_shards > 1``) partitions the run along its
+    streams or devices into epoch-synchronized worker processes.  Both
+    default to exact mode, which is bit-identical to omitting them.
     """
+    if shards is not None and not shards.empty:
+        # imported lazily: the shard coordinator builds sessions itself
+        from repro.accel.shard import run_sharded
+
+        return run_sharded(
+            workload=workload,
+            policy=policy,
+            config=config,
+            predictor_config=predictor_config,
+            dbi_max_rows=dbi_max_rows,
+            adaptive=adaptive,
+            topology=topology,
+            streams=streams,
+            faults=faults,
+            sampling=sampling,
+            shards=shards,
+            telemetry=telemetry,
+            obs=obs,
+        )
     session = SimulationSession(
         policy=policy,
         config=config,
@@ -519,6 +641,7 @@ def simulate(
         topology=topology,
         streams=streams,
         faults=faults,
+        sampling=sampling,
         telemetry=telemetry,
         obs=obs,
     )

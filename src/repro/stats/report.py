@@ -48,6 +48,12 @@ class RunReport:
     #: anomaly alerts (:meth:`repro.obs.alerts.Alert.as_dict` dicts);
     #: empty unless the run had the detectors enabled and they fired
     alerts: list[dict] = field(default_factory=list)
+    #: per-counter relative error bounds of extrapolated counters (plus
+    #: the ``"cycles"`` key); empty unless the run fast-forwarded kernels
+    error_estimates: dict[str, float] = field(default_factory=dict)
+    #: fast-forward / shard summary (kernels executed vs skipped,
+    #: represented events, shard counts); empty for exact runs
+    sampling: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -97,6 +103,12 @@ class RunReport:
             # same touched-gating as metrics: healthy or detector-less runs
             # serialize exactly as they always have
             blob["alerts"] = [dict(alert) for alert in self.alerts]
+        if self.error_estimates:
+            # only fast-forwarded runs carry the keys, so exact-run blobs
+            # (and every pre-sampling golden fixture) stay byte-identical
+            blob["error_estimates"] = dict(self.error_estimates)
+        if self.sampling:
+            blob["sampling"] = dict(self.sampling)
         return blob
 
     @classmethod
@@ -119,6 +131,12 @@ class RunReport:
         alerts_raw = data.get("alerts", [])
         if not isinstance(alerts_raw, Sequence) or isinstance(alerts_raw, (str, bytes)):
             raise ValueError("run report alerts must be a list of alert dicts")
+        errors_raw = data.get("error_estimates", {})
+        if not isinstance(errors_raw, Mapping):
+            raise ValueError("run report error_estimates must be a mapping")
+        sampling_raw = data.get("sampling", {})
+        if not isinstance(sampling_raw, Mapping):
+            raise ValueError("run report sampling must be a mapping")
         return cls(
             workload=workload,
             policy=policy,
@@ -128,6 +146,10 @@ class RunReport:
             wavefront_size=int(data.get("wavefront_size", 64)),  # type: ignore[arg-type]
             metrics=[dict(window) for window in metrics_raw],  # type: ignore[call-overload]
             alerts=[dict(alert) for alert in alerts_raw],  # type: ignore[call-overload]
+            error_estimates={
+                str(name): float(value) for name, value in errors_raw.items()  # type: ignore[arg-type]
+            },
+            sampling=dict(sampling_raw),
         )
 
     # ------------------------------------------------------------------

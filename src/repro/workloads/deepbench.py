@@ -196,29 +196,32 @@ class RnnForward(Workload):
         cell_state = space.allocate("cell_state", self.hidden)
         hidden_state = space.allocate("hidden_state", self.hidden)
         trace = WorkloadTrace(name=self.name)
+        # every timestep launches the same two kernels over the same
+        # tensors, so build each program once and alias it per timestep;
+        # traces are read-only after construction (the GPU never mutates
+        # them, and partitioning copies), which makes aliasing safe and
+        # keeps trace generation O(1) in sequence length
+        gate = rnn_gate_kernel(
+            f"miopen_rnn_{self.cell}_gemv",
+            weights=weights,
+            state=state,
+            gates=gates,
+            hidden=self.hidden,
+            num_gates=self.num_gates,
+            wavefront_size=self.wavefront_size,
+        )
+        pointwise = rnn_pointwise_kernel(
+            f"miopen_rnn_{self.cell}_pointwise",
+            gates=gates,
+            cell_state=cell_state,
+            hidden_state=hidden_state,
+            hidden=self.hidden,
+            num_gates=self.num_gates,
+            wavefront_size=self.wavefront_size,
+        )
         for _timestep in range(self.sequence_length):
-            trace.add_kernel(
-                rnn_gate_kernel(
-                    f"miopen_rnn_{self.cell}_gemv",
-                    weights=weights,
-                    state=state,
-                    gates=gates,
-                    hidden=self.hidden,
-                    num_gates=self.num_gates,
-                    wavefront_size=self.wavefront_size,
-                )
-            )
-            trace.add_kernel(
-                rnn_pointwise_kernel(
-                    f"miopen_rnn_{self.cell}_pointwise",
-                    gates=gates,
-                    cell_state=cell_state,
-                    hidden_state=hidden_state,
-                    hidden=self.hidden,
-                    num_gates=self.num_gates,
-                    wavefront_size=self.wavefront_size,
-                )
-            )
+            trace.add_kernel(gate)
+            trace.add_kernel(pointwise)
         return trace
 
     def profile(self) -> WorkloadProfile:

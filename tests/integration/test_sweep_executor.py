@@ -185,3 +185,58 @@ class TestRunnerMemo:
             "memo_hits",
             "cached_runs",
         }
+
+
+class TestPoolRelease:
+    """The per-attempt pool must be released on *every* exit path.
+
+    Regression: an ``on_result`` callback raising out of the drain loop
+    used to reach ``pool.shutdown(wait=True)``, blocking the sweep on
+    still-running -- possibly stuck -- workers and leaking the pool past
+    the attempt.  The abandon path now shuts down without waiting and
+    cancels unstarted futures.
+    """
+
+    @staticmethod
+    def _recording_pool():
+        from concurrent.futures import ThreadPoolExecutor
+
+        calls: list[dict[str, bool]] = []
+
+        class RecordingPool(ThreadPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                calls.append({"wait": wait, "cancel_futures": cancel_futures})
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        return RecordingPool, calls
+
+    def _specs(self):
+        return [
+            JobSpec(workload=name, policy=CACHE_R, scale=SCALE, config=TINY)
+            for name in ("FwSoft", "FwAct", "FwSoft")
+        ]
+
+    def test_raising_callback_abandons_the_pool_without_waiting(self, monkeypatch):
+        import repro.experiments.jobs as jobs_module
+
+        pool_class, calls = self._recording_pool()
+        monkeypatch.setattr(jobs_module, "ProcessPoolExecutor", pool_class)
+        backend = ProcessPoolBackend(max_workers=1)
+
+        def sink(index, report):
+            raise RuntimeError("result sink is full")
+
+        with pytest.raises(RuntimeError, match="result sink is full"):
+            backend.run_jobs(self._specs(), on_result=sink)
+        assert calls, "the pool was never shut down"
+        assert calls[-1] == {"wait": False, "cancel_futures": True}
+
+    def test_happy_path_still_waits_for_a_clean_shutdown(self, monkeypatch):
+        import repro.experiments.jobs as jobs_module
+
+        pool_class, calls = self._recording_pool()
+        monkeypatch.setattr(jobs_module, "ProcessPoolExecutor", pool_class)
+        backend = ProcessPoolBackend(max_workers=1)
+        reports = backend.run_jobs(self._specs())
+        assert all(report is not None for report in reports)
+        assert calls[-1] == {"wait": True, "cancel_futures": True}

@@ -1,0 +1,128 @@
+"""Validation and fingerprint semantics of the acceleration configs.
+
+The load-bearing contract is the "exact mode hashes as None" idiom on
+:meth:`repro.experiments.jobs.JobSpec.fingerprint`: a job with no
+acceleration, a job with a *disabled* :class:`SamplingConfig`, and a job
+with a one-shard :class:`ShardConfig` must all produce the identical
+fingerprint (so exact results interchange in the store), while any
+*enabled* acceleration must change it (so sampled results can never be
+served where exact ones were asked for).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import SHARD_AXES, SamplingConfig, ShardConfig
+from repro.core.policies import CACHE_RW
+from repro.experiments.jobs import JobSpec
+
+
+class TestSamplingConfigValidation:
+    def test_defaults_are_enabled_and_valid(self):
+        config = SamplingConfig()
+        assert config.enabled and not config.empty
+
+    def test_disabled_config_is_empty(self):
+        assert SamplingConfig(enabled=False).empty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup_instances": -1},
+            {"measure_instances": 0},
+            {"warmup_instances": 0, "measure_instances": 1},  # sum < 2
+            {"intensity_delta": 0.0},
+            {"hit_rate_delta": -0.1},
+            {"write_fraction_delta": 0.0},
+            {"cycle_delta": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplingConfig(**kwargs)
+
+    def test_describe_covers_the_thresholds(self):
+        described = SamplingConfig().describe()
+        assert set(described) == {
+            "warmup_instances",
+            "measure_instances",
+            "intensity_delta",
+            "hit_rate_delta",
+            "write_fraction_delta",
+            "cycle_delta",
+        }
+
+
+class TestShardConfigValidation:
+    def test_one_shard_is_empty(self):
+        assert ShardConfig(num_shards=1).empty
+        assert not ShardConfig(num_shards=2).empty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_shards": 0},
+            {"axis": "bogus"},
+            {"epoch_cycles": 0},
+            {"timeout_seconds": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_every_registered_axis_constructs(self):
+        for axis in SHARD_AXES:
+            assert ShardConfig(num_shards=2, axis=axis).axis == axis
+
+    def test_describe_excludes_the_host_side_timeout(self):
+        described = ShardConfig(num_shards=2, timeout_seconds=30.0).describe()
+        assert set(described) == {"num_shards", "axis", "epoch_cycles"}
+
+
+class TestJobSpecAccelFingerprint:
+    def _job(self, **kwargs) -> JobSpec:
+        return JobSpec(workload="CM", policy=CACHE_RW, scale=0.2, **kwargs)
+
+    def test_exact_modes_hash_as_none(self):
+        """No config, disabled sampling and one shard all hash identically."""
+        plain = self._job().fingerprint()
+        assert self._job(sampling=SamplingConfig(enabled=False)).fingerprint() == plain
+        assert self._job(shards=ShardConfig(num_shards=1)).fingerprint() == plain
+        assert (
+            self._job(
+                sampling=SamplingConfig(enabled=False),
+                shards=ShardConfig(num_shards=1),
+            ).fingerprint()
+            == plain
+        )
+
+    def test_enabled_sampling_changes_the_fingerprint(self):
+        plain = self._job().fingerprint()
+        sampled = self._job(sampling=SamplingConfig()).fingerprint()
+        assert sampled != plain
+
+    def test_sharding_changes_the_fingerprint(self):
+        plain = self._job().fingerprint()
+        sharded = self._job(shards=ShardConfig(num_shards=2)).fingerprint()
+        assert sharded != plain
+
+    def test_sampling_parameters_are_load_bearing(self):
+        a = self._job(sampling=SamplingConfig(warmup_instances=1)).fingerprint()
+        b = self._job(sampling=SamplingConfig(warmup_instances=2)).fingerprint()
+        assert a != b
+
+    def test_shard_parameters_are_load_bearing(self):
+        a = self._job(shards=ShardConfig(num_shards=2)).fingerprint()
+        b = self._job(shards=ShardConfig(num_shards=3)).fingerprint()
+        c = self._job(shards=ShardConfig(num_shards=2, epoch_cycles=1000)).fingerprint()
+        assert len({a, b, c}) == 3
+
+    def test_summary_mentions_acceleration_only_when_enabled(self):
+        assert "sampling" not in self._job().summary()
+        assert "shards" not in self._job().summary()
+        accel = self._job(
+            sampling=SamplingConfig(), shards=ShardConfig(num_shards=2)
+        ).summary()
+        assert "sampling" in accel and "shards" in accel
